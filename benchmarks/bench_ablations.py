@@ -1,0 +1,24 @@
+"""Ablation benches for the design choices DESIGN.md calls out (§IV, §V)."""
+
+from conftest import run_figure
+
+from repro.harness.figures import ablations
+
+
+def test_ablations(benchmark, scale):
+    tables = run_figure(benchmark, ablations, scale)
+    by_id = {t.id: t for t in tables}
+
+    # Threshold: flatten engages only above the per-writer index size, and
+    # engaging it buys a faster read open.
+    thr = by_id["ablate-threshold"]
+    flat = thr.column("flattened")
+    opens = thr.column("read_open_s")
+    assert flat[0] is False and flat[-1] is True
+    assert opens[-1] < opens[0]
+
+    # Federation: container spreading fixes N-N, subdir spreading N-1.
+    fed = by_id["ablate-federation"]
+    rows = {r[0]: (r[1], r[2]) for r in fed.rows}
+    assert rows["container"][0] < rows["none"][0]
+    assert rows["subdir"][1] < rows["none"][1]

@@ -1,0 +1,41 @@
+"""Microbenchmarks of the simulation kernel itself (events/sec budget)."""
+
+from repro.sim import Engine, FairShareServer
+
+
+def test_engine_event_throughput(benchmark):
+    """Timeout-chain throughput: the floor cost of every simulated op."""
+
+    def run():
+        env = Engine()
+
+        def proc(env):
+            for _ in range(2000):
+                yield env.timeout(1.0)
+
+        for _ in range(50):
+            env.process(proc(env))
+        env.run()
+        return env.now
+
+    assert benchmark(run) == 2000.0
+
+
+def test_fair_share_throughput(benchmark):
+    """GPS server with heavy churn: arrivals/completions interleaved."""
+
+    def run():
+        env = Engine()
+        srv = FairShareServer(env, capacity=1e9)
+
+        def proc(env, i):
+            yield env.timeout(i * 1e-6)
+            for _ in range(200):
+                yield srv.serve(1e6)
+
+        for i in range(100):
+            env.process(proc(env, i))
+        env.run()
+        return srv.total_served
+
+    assert benchmark(run) == 100 * 200 * 1e6

@@ -1,0 +1,33 @@
+"""Fig. 2 — N-1 write speedups of PLFS across the application suite.
+
+Regenerates the paper's write-speedup summary (§III) and the portability
+companion (PanFS/Lustre/GPFS).  Paper shape: every app wins through PLFS,
+with speedups from a few x up to ~150x for the small-unaligned-record
+codes.
+"""
+
+from conftest import run_figure
+
+from repro.harness.figures import fig2
+
+
+def test_fig2_write_speedups(benchmark, scale):
+    tables = run_figure(
+        benchmark, fig2, scale,
+        extra_keys={
+            "max_write_speedup": lambda ts: max(
+                v for t in ts for v in t.column("speedup")),
+        },
+    )
+    main, porta = tables
+    speedups = main.column("speedup")
+    # Reproduction assertions (shape, not absolutes): PLFS must win for the
+    # small/unaligned-record apps, dramatically for the worst one.
+    by_app = dict(zip(main.column("app"), speedups))
+    assert by_app["LANL 2"] > 10
+    assert by_app["FLASH io"] > 2
+    assert by_app["LANL 1"] > 2
+    # Portability: the win shows on all three file systems (§III).
+    assert all(s > 10 for s in porta.column("speedup"))
+    # The 150x headline band is reached somewhere in the suite.
+    assert max(v for t in tables for v in t.column("speedup")) > 100

@@ -1,0 +1,41 @@
+"""Fig. 5 — read performance across the six I/O kernels (§IV-D).
+
+Regenerates the per-kernel PLFS-vs-direct effective read bandwidth sweeps
+(Pixie3D, ARAMCO, IOR, MADbench, LANL 1, LANL 3).
+"""
+
+from conftest import run_figure
+
+from repro.harness.figures import fig5
+
+
+def test_fig5_kernels(benchmark, scale):
+    tables = run_figure(benchmark, fig5, scale)
+    by_id = {t.id: t for t in tables}
+
+    # fig5a Pixie3D: "extremely close" (paper's words); direct competitive.
+    pixie = by_id["fig5a"].column("plfs_speedup")
+    assert all(0.7 < s < 1.6 for s in pixie)
+
+    # fig5b ARAMCO (strong scaling): PLFS wins small, advantage decays with
+    # process count (the paper's crossover toward direct).
+    aramco = by_id["fig5b"].column("plfs_speedup")
+    assert aramco[0] > 1.5
+    assert aramco[-1] < aramco[0] / 1.5
+
+    # fig5c IOR: PLFS wins at every count (paper: up to 4.5x).
+    ior = by_id["fig5c"].column("plfs_speedup")
+    assert all(s > 1.5 for s in ior)
+
+    # fig5d MADbench: PLFS wins.
+    assert all(s > 1.0 for s in by_id["fig5d"].column("plfs_speedup"))
+
+    # fig5e LANL 1: PLFS wins at all counts (paper max 10x).
+    lanl1 = by_id["fig5e"].column("plfs_speedup")
+    assert all(s > 1.5 for s in lanl1)
+
+    # fig5f LANL 3 (collective buffering): parity at small scale, PLFS
+    # edges ahead at the largest (paper's "interesting observation").
+    lanl3 = by_id["fig5f"].column("plfs_speedup")
+    assert 0.8 < lanl3[0] < 1.25
+    assert lanl3[-1] > 1.1

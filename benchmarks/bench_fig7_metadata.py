@@ -1,0 +1,25 @@
+"""Fig. 7 — N-N metadata performance vs metadata-server count (§V)."""
+
+from conftest import run_figure
+
+from repro.harness.figures import fig7
+
+
+def test_fig7_metadata(benchmark, scale):
+    tables = run_figure(benchmark, fig7, scale)
+    open_t, close_t = tables
+    ks = scale.fig7_mds_counts
+    last = open_t.rows[-1]
+    cols = open_t.columns
+    plfs_times = [last[cols.index(f"PLFS-{k}")] for k in ks]
+    direct = last[cols.index("W/O PLFS")]
+    # More MDS -> faster opens, monotonically.
+    assert all(a > b for a, b in zip(plfs_times, plfs_times[1:]))
+    # PLFS with one MDS loses to direct (container burden)...
+    assert plfs_times[0] > direct
+    # ...but with the most MDS it wins (paper: PLFS-6/9 beat direct).
+    assert plfs_times[-1] < direct
+    # Closes: direct always wins (paper Fig. 7b).
+    for row in close_t.rows:
+        d = row[close_t.columns.index("W/O PLFS")]
+        assert all(row[close_t.columns.index(f"PLFS-{k}")] > d for k in ks)

@@ -1,0 +1,45 @@
+"""Fig. 8 — large-scale read and metadata results on the Cielo model (§VI).
+
+At REPRO_SCALE=paper this sweeps to 65,536 processes (read bandwidth) and
+32,768 processes (metadata) and takes tens of minutes; the default small
+scale sweeps the same shapes at 2,048.
+"""
+
+from conftest import run_figure
+
+from repro.harness.figures import fig8
+
+
+def test_fig8_large_scale(benchmark, scale):
+    tables = run_figure(
+        benchmark, fig8, scale,
+        extra_keys={
+            "max_metadata_speedup": lambda ts: max(
+                t for tt in ts if tt.id == "fig8d" for t in tt.column("speedup")),
+        },
+    )
+    by_id = {t.id: t for t in tables}
+
+    # fig8a: N-1 through PLFS keeps up with N-N direct (within ~25% or
+    # better at the top count) — the whole point of the middleware.
+    a = by_id["fig8a"]
+    top = a.rows[-1]
+    nn_direct, nn_plfs, n1_plfs = top[1], top[2], top[3]
+    assert n1_plfs > 0.75 * nn_direct
+    assert nn_plfs > 0.6 * nn_direct
+
+    # fig8b: more MDS, faster N-N opens, at every process count.
+    b = by_id["fig8b"]
+    for row in b.rows:
+        assert row[1] > row[2] > row[3]
+
+    # fig8c: 10 federated MDS beat 1 for the N-1 open storm at scale.
+    c = by_id["fig8c"]
+    assert c.rows[-1][1] > c.rows[-1][2]
+
+    # fig8d: the metadata headline — PLFS-10 beats direct, increasingly
+    # with scale (paper: 17x at 32,768 procs).
+    d = by_id["fig8d"]
+    speedups = d.column("speedup")
+    assert all(s > 2 for s in speedups)
+    assert speedups[-1] >= speedups[0]

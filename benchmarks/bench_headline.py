@@ -1,0 +1,13 @@
+"""The paper's §I/§VIII headline: write 150x / read 10x / metadata 17x."""
+
+from conftest import run_figure
+
+from repro.harness.figures import headline
+
+
+def test_headline(benchmark, scale):
+    (table,) = run_figure(benchmark, headline, scale)
+    measured = {row[0]: row[2] for row in table.rows}
+    assert float(measured["write speedup"].rstrip("x")) > 50
+    assert float(measured["read speedup"].rstrip("x")) > 1.5
+    assert float(measured["metadata speedup"].rstrip("x")) > 2

@@ -1,0 +1,38 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each ``bench_figX`` module regenerates one of the paper's figures at the
+scale selected by ``REPRO_SCALE`` (default ``small``; set ``paper`` for
+the published process counts) and prints the same rows/series the paper
+plots.  pytest-benchmark times the regeneration itself; the *reproduced
+numbers* land in ``extra_info`` and on stdout.
+"""
+
+import pytest
+
+from repro.harness.report import render_tables
+from repro.harness.scales import get_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale()
+
+
+def run_figure(benchmark, fig_fn, scale, extra_keys=None):
+    """Run a figure function once under pytest-benchmark, print its tables."""
+    result = {}
+
+    def go():
+        result["tables"] = fig_fn(scale)
+        return result["tables"]
+
+    tables = benchmark.pedantic(go, rounds=1, iterations=1, warmup_rounds=0)
+    print()
+    print(render_tables(tables))
+    benchmark.extra_info["scale"] = scale.name
+    for table in tables:
+        benchmark.extra_info[table.id + "_rows"] = len(table.rows)
+    if extra_keys:
+        for key, fn in extra_keys.items():
+            benchmark.extra_info[key] = fn(tables)
+    return tables

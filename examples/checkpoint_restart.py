@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Checkpoint/restart campaign: choosing an index-aggregation strategy.
+
+A long-running simulated application alternates compute and checkpoint
+phases; node failures are injected, and each failure forces a restart that
+reads the latest checkpoint back.  The experiment compares the paper's
+three index-aggregation strategies (§IV) over the whole campaign:
+
+* write-once/read-rarely favours Parallel Index Read (no close cost);
+* failure-heavy campaigns (many restarts per checkpoint) amortize Index
+  Flatten's slower closes over many cheap read-opens — exactly the
+  trade-off §IV-A describes.
+
+Run:  python examples/checkpoint_restart.py
+"""
+
+import random
+
+from repro.harness.setup import build_world
+from repro.mpi import run_job
+from repro.mpiio import MPIFile, PlfsDriver
+from repro.pfs.data import PatternData
+from repro.units import KB, MB, fmt_time
+
+NPROCS = 64
+PER_PROC = 10 * MB
+RECORD = 100 * KB
+N_CHECKPOINTS = 4
+
+
+def write_checkpoint(world, path, version):
+    def rank_fn(ctx):
+        if ctx.rank == 0:
+            yield from world.mount.mkdir(ctx.client, "/campaign")
+        yield from ctx.comm.barrier()
+        f = yield from MPIFile.open(ctx, path, "w", PlfsDriver(world.mount))
+        written = 0
+        while written < PER_PROC:
+            n = min(RECORD, PER_PROC - written)
+            offset = ctx.rank * RECORD + (written // RECORD) * NPROCS * RECORD
+            yield from f.write_at(offset, PatternData(version * NPROCS + ctx.rank,
+                                                      written, n))
+            written += n
+        yield from f.close()
+
+    return run_job(world.env, world.cluster, NPROCS, rank_fn,
+                   client_id_base=version * NPROCS).duration
+
+
+def restart_from(world, path, version, attempt):
+    def rank_fn(ctx):
+        f = yield from MPIFile.open(ctx, path, "r", PlfsDriver(world.mount))
+        got, ok = 0, True
+        while got < PER_PROC:
+            n = min(RECORD, PER_PROC - got)
+            offset = ctx.rank * RECORD + (got // RECORD) * NPROCS * RECORD
+            view = yield from f.read_at(offset, n)
+            ok = ok and view.content_equal(
+                PatternData(version * NPROCS + ctx.rank, got, n))
+            got += n
+        yield from f.close()
+        return ok
+
+    world.drop_caches()  # the failed job's caches are gone
+    job = run_job(world.env, world.cluster, NPROCS, rank_fn,
+                  client_id_base=1_000_000 + attempt * NPROCS)
+    assert all(job.results), "restart read corrupt data!"
+    return job.duration
+
+
+def run_campaign(aggregation, failures_per_checkpoint):
+    """Simulate the I/O of a campaign; returns total time spent in I/O."""
+    world = build_world(n_nodes=16, cores=4, aggregation=aggregation)
+    rng = random.Random(42)
+    write_time = read_time = 0.0
+    attempt = 0
+    for version in range(N_CHECKPOINTS):
+        path = f"/campaign/ckpt.{version}"
+        write_time += write_checkpoint(world, path, version)
+        for _ in range(failures_per_checkpoint):
+            # A node died mid-compute; the job restarts from this checkpoint.
+            rng.random()
+            attempt += 1
+            read_time += restart_from(world, path, version, attempt)
+    return write_time, read_time
+
+
+def main():
+    print(f"campaign: {N_CHECKPOINTS} checkpoints x {NPROCS} ranks x "
+          f"{PER_PROC // MB} MB, {RECORD // 1000} KB strided records\n")
+    for failures in (0, 3):
+        print(f"--- {failures} failure(s)/restart(s) per checkpoint ---")
+        rows = []
+        for aggregation in ("original", "flatten", "parallel"):
+            w, r = run_campaign(aggregation, failures)
+            rows.append((aggregation, w, r, w + r))
+        for aggregation, w, r, total in rows:
+            print(f"  {aggregation:<9} write={fmt_time(w):>10}  "
+                  f"restart-reads={fmt_time(r):>10}  total={fmt_time(total):>10}")
+        best = min(rows, key=lambda x: x[3])[0]
+        print(f"  -> best strategy for this failure rate: {best}\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Legacy shim: lets `pip install -e . --no-use-pep517` work offline (no wheel pkg)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""Simulated HPC platform: nodes, interconnect, storage network, presets."""
+
+from .network import Interconnect, StorageNetwork
+from .node import Node, NodeSpec, PageCache
+from .presets import CIELO, LANL64, cielo, lanl64
+from .topology import Cluster, ClusterSpec
+
+__all__ = [
+    "Interconnect",
+    "StorageNetwork",
+    "Node",
+    "NodeSpec",
+    "PageCache",
+    "Cluster",
+    "ClusterSpec",
+    "CIELO",
+    "LANL64",
+    "cielo",
+    "lanl64",
+]

@@ -1,0 +1,143 @@
+"""Compute-node model: cores, memory, and the client page cache.
+
+The page cache matters for one specific effect the paper calls out
+(§IV-C): at 1024 concurrent streams the measured read bandwidth *exceeds*
+the 1.25 GB/s theoretical peak of the storage network because checkpoint
+data written moments earlier is still resident in the compute nodes' page
+caches.  We model a per-node LRU cache at block granularity; a read hit
+bypasses the storage system entirely.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import ConfigError
+from ..units import GiB, MiB
+
+__all__ = ["NodeSpec", "PageCache", "Node"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of one compute node."""
+
+    cores: int = 16
+    mem_bytes: int = 32 * GiB
+    nic_bw: float = 3.2e9  # interconnect NIC, bytes/s (IB 4x QDR-ish)
+    mem_bw: float = 8e9  # intra-node copy bandwidth, bytes/s
+    cache_fraction: float = 0.5  # fraction of RAM usable as page cache
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ConfigError(f"node needs >= 1 core, got {self.cores}")
+        if self.mem_bytes <= 0 or self.nic_bw <= 0 or self.mem_bw <= 0:
+            raise ConfigError("node memory and bandwidths must be positive")
+        if not (0.0 <= self.cache_fraction <= 1.0):
+            raise ConfigError("cache_fraction must be in [0, 1]")
+
+
+class PageCache:
+    """Per-node LRU page cache at fixed block granularity.
+
+    Keys are ``(file_uid, block_index)``.  ``insert`` populates blocks (a
+    write or a completed read fill); ``hit_bytes`` reports how much of a
+    byte range is currently resident, touching the blocks it finds (LRU
+    update).  Capacity counts blocks; partial blocks round up, which is
+    how a real page cache behaves too.
+    """
+
+    def __init__(self, capacity_bytes: int, block_size: int = MiB):
+        if block_size <= 0:
+            raise ConfigError("cache block size must be positive")
+        self.block_size = block_size
+        self.capacity_blocks = max(0, capacity_bytes // block_size)
+        self._blocks: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def _block_range(self, offset: int, length: int) -> range:
+        if length <= 0:
+            return range(0)
+        return range(offset // self.block_size, (offset + length - 1) // self.block_size + 1)
+
+    def insert(self, file_uid: int, offset: int, length: int, *,
+               full_blocks_only: bool = False) -> None:
+        """Populate the blocks covering [offset, offset+length).
+
+        ``full_blocks_only`` marks only blocks the range covers entirely —
+        the right semantics for read fills, where marking a partially-read
+        block resident would let later reads skip storage for bytes that
+        never crossed the wire.
+        """
+        if self.capacity_blocks == 0:
+            return
+        if full_blocks_only:
+            first = -(-offset // self.block_size)
+            last = (offset + length) // self.block_size
+            blocks_iter = range(first, last)
+        else:
+            blocks_iter = self._block_range(offset, length)
+        blocks = self._blocks
+        for b in blocks_iter:
+            key = (file_uid, b)
+            if key in blocks:
+                blocks.move_to_end(key)
+            else:
+                blocks[key] = None
+                if len(blocks) > self.capacity_blocks:
+                    blocks.popitem(last=False)
+                    self.evictions += 1
+
+    def hit_bytes(self, file_uid: int, offset: int, length: int) -> int:
+        """Bytes of [offset, offset+length) resident in the cache (block-granular)."""
+        if length <= 0 or self.capacity_blocks == 0:
+            self.misses += 1 if length > 0 else 0
+            return 0
+        blocks = self._blocks
+        hit = 0
+        for b in self._block_range(offset, length):
+            key = (file_uid, b)
+            lo = max(offset, b * self.block_size)
+            hi = min(offset + length, (b + 1) * self.block_size)
+            if key in blocks:
+                blocks.move_to_end(key)
+                hit += hi - lo
+                self.hits += 1
+            else:
+                self.misses += 1
+        return hit
+
+    def invalidate_file(self, file_uid: int) -> None:
+        """Drop every cached block of one file (e.g. after unlink/truncate)."""
+        for key in [k for k in self._blocks if k[0] == file_uid]:
+            del self._blocks[key]
+
+    def clear(self) -> None:
+        self._blocks.clear()
+
+
+class Node:
+    """One compute node: identity, spec, NIC fair-share servers, page cache.
+
+    NIC servers are attached by the :class:`~repro.cluster.network.Interconnect`
+    so that a node participates in exactly one fabric.
+    """
+
+    def __init__(self, node_id: int, spec: NodeSpec, env) -> None:
+        self.id = node_id
+        self.spec = spec
+        self.env = env
+        self.page_cache = PageCache(int(spec.mem_bytes * spec.cache_fraction))
+        # Set by Interconnect.attach(); None until then.
+        self.nic_out = None
+        self.nic_in = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.id} cores={self.spec.cores}>"

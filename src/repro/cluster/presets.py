@@ -1,0 +1,55 @@
+"""Platform presets matching the paper's two testbeds.
+
+§IV-C: "The cluster has 64 nodes each with 16 AMD Opteron cores for a total
+of 1024 processors. Each node has 32GB of memory and nodes are interconnected
+with an Infiniband network. The cluster is also connected to a 551 TB Panasas
+file system through a 10GigE storage network."  Theoretical peak read
+bandwidth is quoted as 1.25 GB/s (§IV-C), i.e. the 10 GigE uplink.
+
+§VI: "Cielo, which is a Cray XE6 machine with 8894 nodes and 142,304 compute
+cores interconnected with a Cray Gemini network. Each node has 32 GB of
+memory and the cluster is connected to a 10PB Panasas parallel file system."
+Cielo's storage aggregate is far larger; we size it at 160 GB/s (the
+published PaScalBB/Panasas figure for Cielo-class deployments is in the
+100–160 GB/s range), which only matters for the shapes, not the absolutes.
+"""
+
+from __future__ import annotations
+
+from ..units import GiB
+from .node import NodeSpec
+from .topology import ClusterSpec
+
+__all__ = ["LANL64", "CIELO", "lanl64", "cielo"]
+
+LANL64 = ClusterSpec(
+    name="lanl64",
+    n_nodes=64,
+    node=NodeSpec(cores=16, mem_bytes=32 * GiB, nic_bw=3.2e9, mem_bw=8e9),
+    interconnect_latency=2e-6,
+    bisection_bw_per_node=1.6e9,
+    storage_latency=60e-6,
+    storage_aggregate_bw=1.25e9,
+    storage_client_bw=1.25e9,
+)
+
+CIELO = ClusterSpec(
+    name="cielo",
+    n_nodes=8894,
+    node=NodeSpec(cores=16, mem_bytes=32 * GiB, nic_bw=5.0e9, mem_bw=10e9),
+    interconnect_latency=1.5e-6,
+    bisection_bw_per_node=2.3e9,  # Gemini 3D torus, effective per-node bisection share
+    storage_latency=80e-6,
+    storage_aggregate_bw=160e9,
+    storage_client_bw=1.0e9,  # per-node share of the PaScalBB I/O lanes
+)
+
+
+def lanl64() -> ClusterSpec:
+    """The paper's 64-node / 1024-core InfiniBand + Panasas cluster (§IV-C)."""
+    return LANL64
+
+
+def cielo() -> ClusterSpec:
+    """Cielo, the Cray XE6 used for the large-scale results (§VI)."""
+    return CIELO

@@ -1,0 +1,79 @@
+"""Cluster assembly: nodes + interconnect + storage network + rank placement."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+from ..errors import ConfigError
+from ..sim import Engine
+from .network import Interconnect, StorageNetwork
+from .node import Node, NodeSpec
+
+__all__ = ["ClusterSpec", "Cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Static description of a whole platform (see :mod:`repro.cluster.presets`)."""
+
+    name: str
+    n_nodes: int
+    node: NodeSpec = field(default_factory=NodeSpec)
+    interconnect_latency: float = 2e-6
+    bisection_bw_per_node: float = 1.6e9  # fabric bisection scales with node count
+    storage_latency: float = 60e-6
+    storage_aggregate_bw: float = 1.25e9  # the paper's 10 GigE uplink
+    storage_client_bw: float = 1.25e9
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ConfigError(f"cluster needs >= 1 node, got {self.n_nodes}")
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_nodes * self.node.cores
+
+
+class Cluster:
+    """A live simulated platform bound to one engine.
+
+    Rank placement follows the paper's runs: ranks are assigned to nodes in
+    contiguous blocks of ``cores`` per node (block placement, the MPI
+    default), wrapping around when jobs oversubscribe cores — the paper's
+    2048-stream runs on 1024 cores do exactly that.
+    """
+
+    def __init__(self, env: Engine, spec: ClusterSpec):
+        self.env = env
+        self.spec = spec
+        self.nodes: List[Node] = [Node(i, spec.node, env) for i in range(spec.n_nodes)]
+        self.interconnect = Interconnect(
+            env, self.nodes,
+            latency=spec.interconnect_latency,
+            bisection_bw=spec.bisection_bw_per_node * spec.n_nodes,
+        )
+        self.storage_net = StorageNetwork(
+            env, self.nodes,
+            latency=spec.storage_latency,
+            aggregate_bw=spec.storage_aggregate_bw,
+            client_bw=spec.storage_client_bw,
+        )
+
+    def node_for_rank(self, rank: int, nprocs: int) -> Node:
+        """Block placement of *nprocs* ranks over the cluster's nodes."""
+        if not (0 <= rank < nprocs):
+            raise ConfigError(f"rank {rank} out of range for {nprocs} procs")
+        per_node = self.spec.node.cores
+        node_idx = (rank // per_node) % self.spec.n_nodes
+        return self.nodes[node_idx]
+
+    def nodes_used(self, nprocs: int) -> int:
+        """How many distinct nodes a job of *nprocs* ranks touches."""
+        return min(self.spec.n_nodes, math.ceil(nprocs / self.spec.node.cores))
+
+    def drop_caches(self) -> None:
+        """Clear every node's page cache (the paper's cold-read runs)."""
+        for node in self.nodes:
+            node.page_cache.clear()

@@ -1,0 +1,102 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type.  File-system errors mirror POSIX errno names
+because the PLFS layer translates between logical and physical namespaces
+and must preserve the error a user of the real middleware would see.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while simulated processes were still blocked."""
+
+
+class FSError(ReproError):
+    """Base class for simulated-file-system errors.
+
+    :attr:`errno_name` carries the POSIX errno mnemonic so tests can assert
+    on the exact failure mode without string matching.
+    """
+
+    errno_name = "EIO"
+
+    def __init__(self, path: str = "", message: str = ""):
+        self.path = path
+        detail = message or self.__doc__.strip().splitlines()[0]  # type: ignore[union-attr]
+        super().__init__(f"[{self.errno_name}] {detail}: {path!r}" if path else f"[{self.errno_name}] {detail}")
+
+
+class FileNotFound(FSError):
+    """No such file or directory."""
+
+    errno_name = "ENOENT"
+
+
+class FileExists(FSError):
+    """File exists."""
+
+    errno_name = "EEXIST"
+
+
+class NotADirectory(FSError):
+    """A path component is not a directory."""
+
+    errno_name = "ENOTDIR"
+
+
+class IsADirectory(FSError):
+    """The target of a file operation is a directory."""
+
+    errno_name = "EISDIR"
+
+
+class DirectoryNotEmpty(FSError):
+    """Directory not empty."""
+
+    errno_name = "ENOTEMPTY"
+
+
+class BadFileHandle(FSError):
+    """Operation on a closed or invalid file handle."""
+
+    errno_name = "EBADF"
+
+
+class PermissionDenied(FSError):
+    """Operation not permitted by the open mode."""
+
+    errno_name = "EACCES"
+
+
+class InvalidArgument(FSError):
+    """Invalid offset, length, or flag combination."""
+
+    errno_name = "EINVAL"
+
+
+class UnsupportedOperation(FSError):
+    """The layer does not support this operation (e.g. PLFS read-write open)."""
+
+    errno_name = "ENOTSUP"
+
+
+class MPIError(ReproError):
+    """Misuse of the simulated MPI runtime (rank/tag/communicator errors)."""
+
+
+class PLFSError(ReproError):
+    """PLFS container corruption or protocol violation."""
+
+
+class ConfigError(ReproError):
+    """Invalid model or experiment configuration."""

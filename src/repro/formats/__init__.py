@@ -1,0 +1,6 @@
+"""Miniature data-format layout libraries (HDF5-ish, pnetCDF-ish)."""
+
+from .hdf5ish import HDF5Layout
+from .pnetcdfish import NetCDFLayout
+
+__all__ = ["HDF5Layout", "NetCDFLayout"]

@@ -1,0 +1,76 @@
+"""A miniature HDF5-style layout (what the ARAMCO kernel writes through).
+
+HDF5 files interleave a superblock + object metadata with chunked dataset
+storage.  Processes write disjoint chunks of a dataset; rank 0 also
+updates small metadata blocks (B-tree nodes, object headers) as chunks
+are allocated.  As with pnetCDF, PLFS only sees the resulting offsets, so
+this module produces them: per-rank chunk extents plus rank-0 metadata
+dribbles — the small-unaligned-write seasoning that makes real HDF5 N-1
+files hard on parallel file systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from ..errors import ConfigError
+
+__all__ = ["HDF5Layout"]
+
+
+@dataclass(frozen=True)
+class HDF5Layout:
+    """Offsets of an HDF5-like file: one chunked dataset + metadata blocks."""
+
+    chunk_bytes: int
+    chunks_per_rank: int
+    nprocs: int
+    superblock_bytes: int = 2048
+    md_block_bytes: int = 544       # object header / B-tree node dribbles
+    md_every_chunks: int = 8        # rank 0 updates metadata this often
+
+    def __post_init__(self) -> None:
+        if min(self.chunk_bytes, self.chunks_per_rank, self.nprocs) < 1:
+            raise ConfigError("HDF5Layout parameters must be >= 1")
+        if self.md_every_chunks < 1:
+            raise ConfigError("md_every_chunks must be >= 1")
+
+    @property
+    def data_base(self) -> int:
+        """File offset where chunk storage begins."""
+        return self.superblock_bytes + self.md_region_bytes
+
+    @property
+    def md_region_bytes(self) -> int:
+        """Bytes reserved for object-header/B-tree dribbles."""
+        n_md = (self.chunks_per_rank * self.nprocs) // self.md_every_chunks + 1
+        return n_md * self.md_block_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        """Whole-file size."""
+        return self.data_base + self.chunk_bytes * self.chunks_per_rank * self.nprocs
+
+    def rank_extents(self, rank: int) -> Iterator[Tuple[int, int]]:
+        """Data-chunk extents of *rank*: round-robin chunk ownership."""
+        if not (0 <= rank < self.nprocs):
+            raise ConfigError(f"rank {rank} out of range for {self.nprocs}")
+        for c in range(self.chunks_per_rank):
+            chunk_index = c * self.nprocs + rank
+            yield (self.data_base + chunk_index * self.chunk_bytes, self.chunk_bytes)
+
+    def metadata_extents(self) -> Iterator[Tuple[int, int]]:
+        """Rank-0 metadata dribbles interleaved with chunk allocation."""
+        total_chunks = self.chunks_per_rank * self.nprocs
+        n_md = total_chunks // self.md_every_chunks + 1
+        for i in range(n_md):
+            yield (self.superblock_bytes + i * self.md_block_bytes, self.md_block_bytes)
+
+    def superblock_extent(self) -> Tuple[int, int]:
+        """(offset, length) of the superblock (rank 0 writes it)."""
+        return (0, self.superblock_bytes)
+
+    def bytes_per_rank(self) -> int:
+        """Data bytes each rank owns."""
+        return self.chunk_bytes * self.chunks_per_rank

@@ -1,0 +1,66 @@
+"""A miniature Parallel-NetCDF-style layout (what Pixie 3D writes through).
+
+Parallel-NetCDF files are a header followed by fixed-size variables, each
+stored contiguously and partitioned among processes; with a record
+dimension, variables interleave per record.  For PLFS the only thing that
+matters is the resulting *offset pattern* (§II: data-formatting libraries
+"dictate the I/O access patterns"), so this module computes exactly that:
+every rank writes one contiguous block per variable per record, at
+
+    header + record * record_size + var_base + rank * block
+
+which is the classic segmented-per-variable N-1 pattern Pixie 3D presents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from ..errors import ConfigError
+
+__all__ = ["NetCDFLayout"]
+
+
+@dataclass(frozen=True)
+class NetCDFLayout:
+    """Offsets of a pnetCDF-like file with fixed vars over a record dim."""
+
+    n_vars: int
+    block_per_rank: int       # bytes each rank contributes to one variable
+    nprocs: int
+    n_records: int = 1
+    header_bytes: int = 8192
+
+    def __post_init__(self) -> None:
+        if min(self.n_vars, self.block_per_rank, self.nprocs, self.n_records) < 1:
+            raise ConfigError("NetCDFLayout parameters must be >= 1")
+
+    @property
+    def var_bytes(self) -> int:
+        return self.block_per_rank * self.nprocs
+
+    @property
+    def record_bytes(self) -> int:
+        return self.n_vars * self.var_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.header_bytes + self.n_records * self.record_bytes
+
+    def header_extent(self) -> Tuple[int, int]:
+        """(offset, length) of the header (written by rank 0)."""
+        return (0, self.header_bytes)
+
+    def rank_extents(self, rank: int) -> Iterator[Tuple[int, int]]:
+        """(offset, length) of every block *rank* owns, in file order."""
+        if not (0 <= rank < self.nprocs):
+            raise ConfigError(f"rank {rank} out of range for {self.nprocs}")
+        for record in range(self.n_records):
+            rec_base = self.header_bytes + record * self.record_bytes
+            for var in range(self.n_vars):
+                yield (rec_base + var * self.var_bytes + rank * self.block_per_rank,
+                       self.block_per_rank)
+
+    def bytes_per_rank(self) -> int:
+        return self.n_vars * self.n_records * self.block_per_rank

@@ -1,0 +1,69 @@
+"""Harness CLI: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.harness all                 # every figure, small scale
+    python -m repro.harness fig4 fig8           # selected figures
+    python -m repro.harness all --scale paper   # published process counts
+    python -m repro.harness all --json out.json # also dump JSON
+
+``REPRO_SCALE=paper`` is equivalent to ``--scale paper``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .figures import FIGURES
+from .report import render_tables, save_json
+from .scales import get_scale
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Reproduce the tables/figures of 'The Power and "
+                    "Challenges of Transformative I/O' (CLUSTER 2012).",
+    )
+    parser.add_argument("figures", nargs="+",
+                        help=f"figures to run: {', '.join(FIGURES)} or 'all'")
+    parser.add_argument("--scale", default="",
+                        help="'small' (default) or 'paper' (published maxima)")
+    parser.add_argument("--json", default="",
+                        help="also write results to this JSON file")
+    parser.add_argument("--chart", action="store_true",
+                        help="render each table as an ASCII chart too")
+    parser.add_argument("--logy", action="store_true",
+                        help="log-scale the chart y axis (implies --chart)")
+    args = parser.parse_args(argv)
+
+    names = list(FIGURES) if "all" in args.figures else args.figures
+    unknown = [n for n in names if n not in FIGURES]
+    if unknown:
+        parser.error(f"unknown figure(s) {unknown}; choose from {sorted(FIGURES)}")
+    scale = get_scale(args.scale)
+    print(f"# repro harness | scale={scale.name}\n", flush=True)
+    all_tables = []
+    for name in names:
+        t0 = time.time()
+        tables = FIGURES[name](scale)
+        dt = time.time() - t0
+        all_tables.extend(tables)
+        print(render_tables(tables))
+        if args.chart or args.logy:
+            from .plots import chart_table
+
+            for table in tables:
+                print()
+                print(chart_table(table, logy=args.logy))
+        print(f"   [{name}: {dt:.1f}s wall]\n", flush=True)
+    if args.json:
+        save_json(all_tables, args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

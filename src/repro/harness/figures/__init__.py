@@ -1,0 +1,24 @@
+"""Per-figure reproduction entry points (one module per paper figure)."""
+
+from .ablations import ablations
+from .diagnose import diagnose
+from .fig2 import fig2
+from .fig4 import fig4
+from .fig5 import fig5
+from .fig7 import fig7
+from .fig8 import fig8
+from .headline import headline
+
+FIGURES = {
+    "fig2": fig2,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig7": fig7,
+    "fig8": fig8,
+    "ablations": ablations,
+    "headline": headline,
+    "diagnose": diagnose,
+}
+
+__all__ = ["FIGURES", "ablations", "diagnose", "fig2", "fig4", "fig5", "fig7",
+           "fig8", "headline"]

@@ -1,0 +1,39 @@
+"""`harness diagnose` — where does the time go on each stack?
+
+Runs one representative N-1 checkpoint+restart through direct access and
+through PLFS, then prints the per-resource utilization and cache reports.
+Not a paper figure; the paper's §II claims about *why* N-1 is slow (lock
+serialization, shared-object contention, idle interconnect) become
+visible counters here.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...cluster import lanl64
+from ...workloads import MPIIOTest, direct_stack, plfs_stack, run_workload
+from ..diagnostics import cache_report, resource_report
+from ..report import Table
+from ..scales import Scale
+from ..setup import build_world
+
+__all__ = ["diagnose"]
+
+
+def diagnose(scale: Scale) -> List[Table]:
+    n = scale.fig2_nprocs
+    wl = MPIIOTest(n, size_per_proc=scale.fig4_size_per_proc // 5,
+                   transfer=scale.fig4_transfer)
+    tables: List[Table] = []
+    for stack_name, stack_fn in (("direct", direct_stack), ("plfs", plfs_stack)):
+        world = build_world(cluster_spec=lanl64(), aggregation="parallel")
+        run_workload(world, wl, stack_fn(world), cold_read=False)
+        res = resource_report(world)
+        res.id = f"diagnose-{stack_name}"
+        res.title = f"[{stack_name}] " + res.title
+        cache = cache_report(world)
+        cache.id = f"diagnose-{stack_name}-cache"
+        cache.title = f"[{stack_name}] " + cache.title
+        tables.extend([res, cache])
+    return tables

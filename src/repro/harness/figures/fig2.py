@@ -1,0 +1,61 @@
+"""Fig. 2 — summary of N-1 write speedups across applications.
+
+The paper's Fig. 2 bar chart shows how much faster the application suite
+writes N-1 checkpoints through PLFS than directly to the parallel file
+system (speedups ranging up to the 150x headline).  Section III credits
+the win to decoupling: no shared-object serialization on the backing
+store.  We also regenerate the §I/§III portability claim as a companion
+table: the same transformation wins on all three modeled file systems.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...cluster import lanl64
+from ...pfs import gpfs, lustre, panfs
+from ...workloads import app_suite, direct_stack, plfs_stack, run_workload
+from ..report import Table
+from ..scales import Scale
+from ..setup import build_world
+
+__all__ = ["fig2"]
+
+
+def _write_time(world, workload, stack) -> float:
+    res = run_workload(world, workload, stack, do_read=False)
+    return res.write.wall_time
+
+
+def fig2(scale: Scale) -> List[Table]:
+    n = scale.fig2_nprocs
+    table = Table(
+        id="fig2",
+        title=f"N-1 write speedup of PLFS per application ({n} procs, PanFS-like)",
+        columns=["app", "direct_write_s", "plfs_write_s", "speedup"],
+        notes="paper: speedups between ~10x and ~150x across the suite",
+    )
+    for spec in app_suite(scale.fig2_app_scale):
+        workload = spec.make(n)
+        w_direct = build_world(cluster_spec=lanl64())
+        t_direct = _write_time(w_direct, workload, direct_stack(w_direct, spec.hints))
+        w_plfs = build_world(cluster_spec=lanl64(), federation="none")
+        t_plfs = _write_time(w_plfs, workload, plfs_stack(w_plfs, spec.hints))
+        table.add(spec.label, t_direct, t_plfs, t_direct / t_plfs)
+
+    porta = Table(
+        id="fig2-portability",
+        title=f"Same transformation across the three file systems ({n} procs, LANL 2 pattern)",
+        columns=["file_system", "direct_write_s", "plfs_write_s", "speedup"],
+        notes="§III: all three major parallel file systems serialize N-1; PLFS wins on each",
+    )
+    lanl2 = next(s for s in app_suite(scale.fig2_app_scale) if s.label == "LANL 2")
+    for preset in (panfs, lustre, gpfs):
+        cfg = preset()
+        workload = lanl2.make(n)
+        w_direct = build_world(cluster_spec=lanl64(), pfs_cfg=cfg)
+        t_direct = _write_time(w_direct, workload, direct_stack(w_direct))
+        w_plfs = build_world(cluster_spec=lanl64(), pfs_cfg=cfg)
+        t_plfs = _write_time(w_plfs, workload, plfs_stack(w_plfs))
+        porta.add(cfg.name, t_direct, t_plfs, t_direct / t_plfs)
+    return [table, porta]

@@ -1,0 +1,46 @@
+"""Fig. 7 — N-N metadata performance vs metadata-server count (§V).
+
+A simulated large N-N job (every process opens and closes multiple
+files).  PLFS-k spreads containers across k federated volumes/MDSes;
+"W/O PLFS" creates plain files in one directory of a single volume.
+
+Paper shapes: open times fall as MDS count rises, PLFS-6/9 beat direct
+despite the container-creation burden (7a); close times never beat
+direct, because a PLFS close writes a metadata dropping while a plain
+close is trivial (7b).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...cluster import lanl64
+from ...workloads import nn_metadata_storm
+from ..report import Table
+from ..scales import Scale
+from ..setup import build_world
+
+__all__ = ["fig7"]
+
+
+def fig7(scale: Scale) -> List[Table]:
+    n = scale.fig7_nprocs
+    mds_counts = scale.fig7_mds_counts
+    cols = ["files"] + [f"PLFS-{k}" for k in mds_counts] + ["W/O PLFS"]
+    open_t = Table(id="fig7a", title=f"N-N open time [s] ({n} procs)", columns=cols,
+                   notes="paper: more MDS -> lower opens; PLFS-6/9 beat direct, PLFS-1 loses")
+    close_t = Table(id="fig7b", title=f"N-N close time [s] ({n} procs)", columns=cols,
+                    notes="paper: direct close wins at every MDS count")
+    for files_per_proc in scale.fig7_files_per_proc:
+        opens, closes = [], []
+        for k in mds_counts:
+            world = build_world(cluster_spec=lanl64(), n_volumes=k,
+                                federation="container" if k > 1 else "none")
+            times = nn_metadata_storm(world, n, files_per_proc, "plfs")
+            opens.append(times.open_time)
+            closes.append(times.close_time)
+        world = build_world(cluster_spec=lanl64())
+        direct = nn_metadata_storm(world, n, files_per_proc, "direct")
+        open_t.add(n * files_per_proc, *opens, direct.open_time)
+        close_t.add(n * files_per_proc, *closes, direct.close_time)
+    return [open_t, close_t]

@@ -1,0 +1,37 @@
+"""The paper's §I/§VIII headline: write 150x, read 10x, metadata 17x.
+
+Computed as the maxima the paper's own maxima come from: the best Fig. 2
+write speedup, the best Fig. 5e read speedup, and the best Fig. 8d
+metadata speedup.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..report import Table
+from ..scales import Scale
+from .fig2 import fig2
+from .fig5 import fig5
+from .fig8 import fig8d
+
+__all__ = ["headline"]
+
+
+def headline(scale: Scale) -> List[Table]:
+    table = Table(
+        id="headline",
+        title="Headline maxima: PLFS speedups (write / read / metadata)",
+        columns=["metric", "paper", "measured", "source"],
+        notes="paper §I: 'up to 150x, 10x, and 17x respectively'",
+    )
+    write_best = max(v for t in fig2(scale) for v in t.column("speedup"))
+    f5 = fig5(scale)
+    lanl1 = next(t for t in f5 if t.id == "fig5e")
+    read_best = max(lanl1.column("plfs_speedup"))
+    f8d = fig8d(scale)
+    meta_best = max(f8d.column("speedup"))
+    table.add("write speedup", "150x", f"{write_best:.1f}x", "fig2 max")
+    table.add("read speedup", "10x", f"{read_best:.1f}x", "fig5e (LANL 1) max")
+    table.add("metadata speedup", "17x", f"{meta_best:.1f}x", "fig8d max")
+    return [table]

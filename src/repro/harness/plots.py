@@ -1,0 +1,107 @@
+"""Terminal charts: render result tables the way the paper plots them.
+
+`python -m repro.harness fig5 --chart` draws each table as an ASCII line
+chart — x from the first column (process counts, stream counts, file
+counts), one series per remaining numeric column — with optional log-y,
+which is how the paper presents most of its figures.
+
+The renderer is deliberately simple: fixed-size character grid, last
+writer wins per cell, series labeled by letter.  It exists to eyeball
+shapes (who wins, where curves cross), not for publication.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from .report import Table
+
+__all__ = ["ascii_chart", "chart_table"]
+
+_MARKS = "abcdefghij"
+
+
+def _is_num(x) -> bool:
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def ascii_chart(xs: Sequence[float], series: List[Sequence[Optional[float]]],
+                labels: Sequence[str], *, width: int = 64, height: int = 16,
+                logy: bool = False, title: str = "") -> str:
+    """Render one or more y-series over shared xs as an ASCII chart."""
+    if not xs or not series:
+        return "(no data)"
+    ys = [y for s in series for y in s if y is not None and _is_num(y)]
+    if not ys:
+        return "(no numeric data)"
+    if logy:
+        ys = [y for y in ys if y > 0]
+        if not ys:
+            return "(log scale needs positive data)"
+
+    def ty(y):
+        return math.log10(y) if logy else y
+
+    lo, hi = min(map(ty, ys)), max(map(ty, ys))
+    if hi == lo:
+        hi = lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, s in enumerate(series):
+        mark = _MARKS[si % len(_MARKS)]
+        for x, y in zip(xs, s):
+            if y is None or not _is_num(y) or (logy and y <= 0):
+                continue
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((ty(y) - lo) / (hi - lo) * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    def fmt(v):
+        if logy:
+            v = 10 ** v
+        if abs(v) >= 1000 or (0 < abs(v) < 0.01):
+            return f"{v:.2g}"
+        return f"{v:.3g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_label_w = max(len(fmt(hi)), len(fmt(lo)))
+    for i, row in enumerate(grid):
+        label = ""
+        if i == 0:
+            label = fmt(hi)
+        elif i == height - 1:
+            label = fmt(lo)
+        lines.append(f"{label:>{y_label_w}} |{''.join(row)}")
+    lines.append(f"{'':>{y_label_w}} +{'-' * width}")
+    x_axis = f"{fmt(ty(x_lo) if logy else x_lo):<{width // 2}}{fmt(ty(x_hi) if logy else x_hi):>{width // 2}}"
+    lines.append(f"{'':>{y_label_w}}  {x_axis}")
+    legend = "  ".join(f"{_MARKS[i % len(_MARKS)]}={lab}"
+                       for i, lab in enumerate(labels))
+    lines.append(f"{'':>{y_label_w}}  {legend}" + ("   [log y]" if logy else ""))
+    return "\n".join(lines)
+
+
+def chart_table(table: Table, *, logy: bool = False, width: int = 64,
+                height: int = 16) -> str:
+    """Chart a harness table: first column = x, numeric columns = series."""
+    if not table.rows:
+        return "(empty table)"
+    xs = [row[0] for row in table.rows]
+    if not all(_is_num(x) for x in xs):
+        return "(first column is not numeric; nothing to chart)"
+    labels, series = [], []
+    for ci, col in enumerate(table.columns[1:], start=1):
+        values = [row[ci] for row in table.rows]
+        if any(_is_num(v) for v in values):
+            labels.append(col)
+            series.append([v if _is_num(v) else None for v in values])
+    if not series:
+        return "(no numeric series)"
+    return ascii_chart(xs, series, labels, width=width, height=height,
+                       logy=logy, title=f"{table.id}: {table.title}")

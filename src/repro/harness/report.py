@@ -1,0 +1,103 @@
+"""Result tables: the text/JSON artifacts the harness emits per figure.
+
+Each reproduced table/figure becomes a :class:`Table` — the same rows and
+series the paper plots — rendered as aligned text for the console and as
+JSON for EXPERIMENTS.md bookkeeping.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+__all__ = ["Table", "render_table", "render_tables", "tables_to_json",
+           "save_json", "fmt_cell"]
+
+
+@dataclass
+class Table:
+    """One reproduced figure/table: column names plus rows of cells."""
+
+    id: str                      # e.g. "fig4a"
+    title: str
+    columns: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, *cells: Any) -> None:
+        """Append one row (arity-checked)."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"{self.id}: row has {len(cells)} cells, want {len(self.columns)}")
+        self.rows.append(list(cells))
+
+    def column(self, name: str) -> List[Any]:
+        """One column's cells, by name."""
+        i = self.columns.index(name)
+        return [row[i] for row in self.rows]
+
+
+def fmt_cell(value: Any) -> str:
+    """Human-format one cell (units-free)."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if math.isnan(value):
+            return "nan"
+        mag = abs(value)
+        if mag >= 1000 or mag < 0.001:
+            return f"{value:.3g}"
+        if mag >= 100:
+            return f"{value:.1f}"
+        if mag >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(table: Table) -> str:
+    """Aligned plain-text rendering."""
+    header = [table.columns]
+    body = [[fmt_cell(c) for c in row] for row in table.rows]
+    widths = [max(len(r[i]) for r in header + body) for i in range(len(table.columns))]
+
+    def line(cells):
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = [f"== {table.id}: {table.title} =="]
+    out.append(line(table.columns))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(r) for r in body)
+    if table.notes:
+        out.append(f"   note: {table.notes}")
+    return "\n".join(out)
+
+
+def render_tables(tables: Sequence[Table]) -> str:
+    """Render several tables separated by blank lines."""
+    return "\n\n".join(render_table(t) for t in tables)
+
+
+def tables_to_json(tables: Sequence[Table]) -> Dict[str, Any]:
+    """JSON-ready dict keyed by table id."""
+    return {
+        t.id: {
+            "title": t.title,
+            "columns": t.columns,
+            "rows": t.rows,
+            "notes": t.notes,
+        }
+        for t in tables
+    }
+
+
+def save_json(tables: Sequence[Table], path: str) -> None:
+    """Dump tables to a JSON file."""
+    with open(path, "w") as f:
+        json.dump(tables_to_json(tables), f, indent=2, default=str)

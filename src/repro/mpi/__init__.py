@@ -1,0 +1,13 @@
+"""Simulated MPI: communicators, point-to-point, collectives, job launcher."""
+
+from .comm import MSG_HEADER_BYTES, Comm, Communicator
+from .runtime import JobResult, RankContext, run_job
+
+__all__ = [
+    "MSG_HEADER_BYTES",
+    "Comm",
+    "Communicator",
+    "JobResult",
+    "RankContext",
+    "run_job",
+]

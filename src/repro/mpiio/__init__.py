@@ -1,0 +1,7 @@
+"""MPI-IO layer: File API, ADIO drivers (UFS/PLFS), collective buffering."""
+
+from .adio import ADIODriver, PlfsDriver, UfsDriver
+from .file import MPIFile
+from .hints import Hints
+
+__all__ = ["ADIODriver", "PlfsDriver", "UfsDriver", "MPIFile", "Hints"]

@@ -1,0 +1,45 @@
+"""Simulated parallel file system: namespace, MDS, OSDs, locks, volumes."""
+
+from .config import DEFAULT_OP_COSTS, PfsConfig
+from .data import (CompositeData, DataSpec, DataView, LiteralData, PatternData,
+                   ZeroData, pattern_bytes)
+from .extents import HOLE, ExtentJournal, FlatMap
+from .locks import RangeLockManager
+from .mds import MetadataServer
+from .namespace import FileData, Inode, Namespace
+from .osd import Osd, OsdPool, stripe_lanes
+from .presets import PRESETS, gpfs, lustre, panfs, panfs_cielo, preset
+from .volume import Client, FileHandle, Stat, Volume
+
+__all__ = [
+    "DEFAULT_OP_COSTS",
+    "PfsConfig",
+    "CompositeData",
+    "DataSpec",
+    "DataView",
+    "LiteralData",
+    "PatternData",
+    "ZeroData",
+    "pattern_bytes",
+    "HOLE",
+    "ExtentJournal",
+    "FlatMap",
+    "RangeLockManager",
+    "MetadataServer",
+    "FileData",
+    "Inode",
+    "Namespace",
+    "Osd",
+    "OsdPool",
+    "stripe_lanes",
+    "PRESETS",
+    "gpfs",
+    "lustre",
+    "panfs",
+    "panfs_cielo",
+    "preset",
+    "Client",
+    "FileHandle",
+    "Stat",
+    "Volume",
+]

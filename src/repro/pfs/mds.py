@@ -1,0 +1,93 @@
+"""Metadata server model.
+
+The MDS is a fair-share queueing server measured in *op units* per second
+(see :data:`repro.pfs.config.DEFAULT_OP_COSTS`).  Two levels of contention
+reproduce the paper's metadata results:
+
+* the server-wide rate bounds the volume's total metadata throughput;
+* a much lower *per-directory* rate bounds mutations inside one directory
+  — the GIGA+-documented effect (§V) that makes an N-process create storm
+  into a single directory so slow, and that federated metadata (multiple
+  volumes, each with its own MDS) sidesteps.
+
+Batched entry points (``op(..., count=k)``) let callers charge k identical
+ops in one simulated request — essential for the Original-PLFS read path,
+where N ranks each open N index files (N² ops total) and simulating each
+open as its own event would melt the host.  Fair sharing of a batch's total
+demand models the same contention.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from ..errors import ConfigError
+from ..sim import Engine, FairShareServer
+from .config import PfsConfig
+
+__all__ = ["MetadataServer"]
+
+# Ops that mutate a directory and therefore hit its single-directory ceiling.
+_DIR_MUTATING = frozenset({"create", "mkdir", "unlink", "rmdir", "rename"})
+
+
+class MetadataServer:
+    """One metadata server (one per volume; federation = several volumes)."""
+
+    def __init__(self, env: Engine, cfg: PfsConfig, name: str = "mds"):
+        self.env = env
+        self.cfg = cfg
+        self.name = name
+        self.server = FairShareServer(env, cfg.mds_ops_per_sec, name=f"{name}.srv")
+        self._dir_servers: Dict[int, FairShareServer] = {}
+        self._dir_inflight: Dict[int, int] = {}
+        self.op_counts: Dict[str, int] = {}
+
+    def _dir_server(self, dir_uid: int) -> FairShareServer:
+        srv = self._dir_servers.get(dir_uid)
+        if srv is None:
+            srv = FairShareServer(self.env, self.cfg.dir_ops_per_sec,
+                                  name=f"{self.name}.dir{dir_uid}")
+            self._dir_servers[dir_uid] = srv
+        return srv
+
+    def op(self, kind: str, dir_uid: Optional[int] = None, count: float = 1,
+           dir_entries: int = 0) -> Generator:
+        """Charge *count* metadata ops of *kind* (a generator to yield from).
+
+        *dir_uid* identifies the directory a mutating op targets; mutations
+        additionally share that directory's (much lower) service rate, and
+        pay the directory-size degradation factor when *dir_entries* is
+        large (see :class:`~repro.pfs.config.PfsConfig`).  *count* may be
+        fractional: client-cached re-opens cost a fraction of a full op.
+        """
+        cost = self.cfg.op_costs.get(kind)
+        if cost is None:
+            raise ConfigError(f"unknown metadata op {kind!r}")
+        if count <= 0:
+            raise ConfigError(f"op count must be > 0, got {count}")
+        self.op_counts[kind] = self.op_counts.get(kind, 0) + int(round(count))
+        yield self.env.timeout(self.cfg.mds_latency)
+        demand = cost * count
+        if dir_uid is not None and kind in _DIR_MUTATING:
+            if self.cfg.dir_degradation_entries > 0:
+                # A bulk-synchronous storm submits every create before any
+                # commits, so size the directory as committed entries plus
+                # the mutations already in flight ahead of this one.
+                inflight = self._dir_inflight.get(dir_uid, 0)
+                effective = dir_entries + inflight
+                if effective > 0:
+                    demand *= 1.0 + effective / self.cfg.dir_degradation_entries
+            self._dir_inflight[dir_uid] = self._dir_inflight.get(dir_uid, 0) + 1
+            try:
+                events = [self.server.serve(demand),
+                          self._dir_server(dir_uid).serve(demand)]
+                yield self.env.all_of(events)
+            finally:
+                self._dir_inflight[dir_uid] -= 1
+        else:
+            yield self.server.serve(demand)
+
+    @property
+    def total_ops(self) -> int:
+        return sum(self.op_counts.values())

@@ -1,0 +1,160 @@
+"""Object storage device model and striped data placement.
+
+Each OSD is a fair-share server whose demand currency is *bytes of device
+time*: a request costs its payload bytes, plus a fixed per-request overhead,
+plus a seek charge when it is not sequential with the previous access to
+the same object, all expressed as equivalent bytes at streaming rate.
+
+Sequentiality is tracked **per object**, which is exactly what produces the
+paper's §IV-D read asymmetry: N processes streaming N separate PLFS data
+logs each advance their own object head-to-tail (prefetch-friendly, no
+seeks), while the same N processes reading strided ranges of one shared
+file interleave their offsets in the same objects and every request looks
+like a seek.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigError
+from ..sim import Engine, Event, FairShareServer
+from .config import PfsConfig
+
+__all__ = ["Osd", "OsdPool", "stripe_lanes"]
+
+
+class Osd:
+    """One object storage device."""
+
+    def __init__(self, env: Engine, cfg: PfsConfig, index: int):
+        self.env = env
+        self.cfg = cfg
+        self.index = index
+        self.server = FairShareServer(env, cfg.osd_bw, name=f"osd{index}")
+        self._last_end: Dict[int, int] = {}  # object uid -> end of previous access
+        self._last_client: Dict[int, int] = {}  # object uid -> previous client
+        self.requests = 0
+        self.seeks = 0
+        self.stream_switches = 0
+        self.bytes_moved = 0
+
+    def _demand(self, obj_uid: int, offset: int, nbytes: int, ops: int,
+                seek_mult: float, client_id, is_read: bool) -> float:
+        """Device-time demand in byte-equivalents for one (merged) request."""
+        cfg = self.cfg
+        demand = float(nbytes) + ops * cfg.osd_op_overhead * cfg.osd_bw
+        if self._last_end.get(obj_uid) != offset:
+            self.seeks += 1
+            demand += seek_mult * cfg.osd_seek_time * cfg.osd_bw
+            # A different client breaking the stream also trashes the
+            # object's readahead window (§IV-D: interleaved shared-file
+            # readers defeat prefetching; private PLFS logs do not).
+            if (is_read and cfg.readahead_waste > 0 and client_id is not None
+                    and self._last_client.get(obj_uid, client_id) != client_id):
+                self.stream_switches += 1
+                demand += cfg.readahead_waste
+        if client_id is not None:
+            self._last_client[obj_uid] = client_id
+        self._last_end[obj_uid] = offset + nbytes
+        self.requests += ops
+        self.bytes_moved += nbytes
+        return demand
+
+    def io(self, obj_uid: int, offset: int, nbytes: int, *, ops: int = 1,
+           inflate: float = 1.0, seek_mult: float = 1.0,
+           client_id: int = None, is_read: bool = False) -> Event:
+        """Submit one request; returns the device completion event.
+
+        *inflate* multiplies the payload demand (read-modify-write: the old
+        data and parity move too); *seek_mult* multiplies the positioning
+        charge (an RMW's component I/Os each seek); *ops* counts how many
+        client requests this merged submission stands for (batched paths),
+        each paying the per-request overhead.  *client_id*/*is_read* feed
+        the readahead-pollution model.
+        """
+        if nbytes < 0 or ops < 1 or inflate < 1.0 or seek_mult < 1.0:
+            raise ConfigError(f"bad OSD request ({nbytes}, {ops}, {inflate}, {seek_mult})")
+        base = self._demand(obj_uid, offset, nbytes, ops, seek_mult, client_id, is_read)
+        extra = (inflate - 1.0) * nbytes
+        return self.server.serve(base + extra)
+
+    def forget(self, obj_uid: int) -> None:
+        """Drop sequentiality-tracking state for a deleted object."""
+        self._last_end.pop(obj_uid, None)
+
+
+def stripe_lanes(offset: int, length: int, stripe_unit: int, width: int
+                 ) -> List[Tuple[int, int, int]]:
+    """Split a file byte range into per-lane object runs.
+
+    Returns ``(lane, object_offset, nbytes)`` per lane touched.  Lane *w*
+    holds stripe units ``w, w+width, w+2*width, …``; consecutive units on
+    one lane are contiguous in its object, so a large write is one
+    sequential run per lane — which is why full-stripe I/O streams at
+    aggregate device speed.
+    """
+    if length <= 0:
+        return []
+    su = stripe_unit
+    end = offset + length
+    first_unit = offset // su
+    last_unit = (end - 1) // su
+    out: List[Tuple[int, int, int]] = []
+    for k in range(min(width, last_unit - first_unit + 1)):
+        unit0 = first_unit + k  # first stripe unit on this lane
+        lane = unit0 % width
+        count = (last_unit - unit0) // width + 1  # units on this lane
+        nbytes = count * su
+        if unit0 == first_unit:
+            nbytes -= offset - first_unit * su  # partial head unit
+        last_on_lane = unit0 + (count - 1) * width
+        if last_on_lane == last_unit:
+            nbytes -= (last_unit + 1) * su - end  # partial tail unit
+        lane_start = max(offset, unit0 * su)
+        obj_off = (unit0 // width) * su + (lane_start - unit0 * su)
+        out.append((lane, obj_off, nbytes))
+    return out
+
+
+class OsdPool:
+    """The volume's set of OSDs plus placement of files onto lanes."""
+
+    def __init__(self, env: Engine, cfg: PfsConfig, name: str = "pool"):
+        self.env = env
+        self.cfg = cfg
+        self.osds = [Osd(env, cfg, i) for i in range(cfg.n_osds)]
+
+    def lane_osd(self, file_uid: int, lane: int) -> Osd:
+        """Round-robin placement: a file's lane *l* lives on one fixed OSD."""
+        return self.osds[(file_uid + lane) % self.cfg.n_osds]
+
+    def io_events(self, file_uid: int, offset: int, length: int, *,
+                  ops_per_lane: int = 1, inflate: float = 1.0,
+                  seek_mult: float = 1.0, client_id: int = None,
+                  is_read: bool = False) -> List[Event]:
+        """Device events for a file byte-range I/O, one per lane touched.
+
+        The object uid for sequentiality tracking combines file and lane, so
+        distinct files never alias each other's streams.
+        """
+        cfg = self.cfg
+        events = []
+        for lane, obj_off, nbytes in stripe_lanes(offset, length, cfg.stripe_unit,
+                                                  cfg.stripe_width):
+            osd = self.lane_osd(file_uid, lane)
+            obj_uid = file_uid * 64 + lane  # distinct per (file, lane)
+            events.append(osd.io(obj_uid, obj_off, nbytes, ops=ops_per_lane,
+                                 inflate=inflate, seek_mult=seek_mult,
+                                 client_id=client_id, is_read=is_read))
+        return events
+
+    @property
+    def total_bytes_moved(self) -> int:
+        """Payload bytes the pool has served (both directions)."""
+        return sum(o.bytes_moved for o in self.osds)
+
+    @property
+    def total_seeks(self) -> int:
+        """Non-sequential requests the pool has absorbed."""
+        return sum(o.seeks for o in self.osds)

@@ -1,0 +1,65 @@
+"""PLFS middleware configuration.
+
+The knobs mirror the design choices the paper evaluates:
+
+* ``aggregation`` — how the global index is assembled at read-open
+  (§IV): ``"original"`` (every rank reads every index log, N² opens),
+  ``"flatten"`` (aggregate at write-close, one global-index file), or
+  ``"parallel"`` (hierarchical collective read at read-open — the paper's
+  chosen default, §IV-D).
+* ``flatten_threshold`` — Index Flatten only engages when every writer's
+  buffered index stays under this size (§IV-A).
+* ``parallel_group_size`` — the two-level collective's group width
+  (§IV-B); 0 picks ~sqrt(N).
+* ``federation`` — static spreading across backing volumes (§V):
+  ``"none"``, ``"container"`` (whole containers hashed across volumes,
+  for application N-N workloads), or ``"subdir"`` (a container's subdirs
+  spread across volumes, for the physical N-N that PLFS itself creates
+  out of logical N-1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..units import MiB
+
+__all__ = ["PlfsConfig", "AGGREGATIONS", "FEDERATIONS"]
+
+AGGREGATIONS = ("original", "flatten", "parallel")
+FEDERATIONS = ("none", "container", "subdir")
+
+
+@dataclass(frozen=True)
+class PlfsConfig:
+    """Static configuration of one PLFS mount."""
+
+    aggregation: str = "parallel"
+    flatten_threshold: int = 2 * MiB     # per-writer buffered-index cap (§IV-A)
+    parallel_group_size: int = 0         # 0 = auto (~sqrt(N))
+    federation: str = "none"
+    n_subdirs: int = 32                  # hashed subdirs per container (PLFS default)
+    # Contiguous-record merging: an index entry whose logical AND physical
+    # ranges extend the writer's previous entry coalesces into it (real
+    # PLFS does this; sequential writers get O(1)-sized indexes while
+    # strided checkpoint patterns keep one record per write).
+    index_merge: bool = True
+    # Periodic index spill: after this many buffered records the writer
+    # appends them to its index log, bounding what a crash can lose.
+    # 0 spills only at close.
+    index_spill_records: int = 16384
+
+    def __post_init__(self) -> None:
+        if self.aggregation not in AGGREGATIONS:
+            raise ConfigError(f"aggregation must be one of {AGGREGATIONS}, got {self.aggregation!r}")
+        if self.federation not in FEDERATIONS:
+            raise ConfigError(f"federation must be one of {FEDERATIONS}, got {self.federation!r}")
+        if self.n_subdirs < 1:
+            raise ConfigError("n_subdirs must be >= 1")
+        if self.flatten_threshold < 0:
+            raise ConfigError("flatten_threshold must be >= 0")
+        if self.parallel_group_size < 0:
+            raise ConfigError("parallel_group_size must be >= 0")
+        if self.index_spill_records < 0:
+            raise ConfigError("index_spill_records must be >= 0")

@@ -1,0 +1,194 @@
+"""PLFS index records: per-writer logs and the merged global index.
+
+Every PLFS write appends data to the writer's own data log and a record
+``(logical_offset, length, physical_offset, timestamp, writer)`` to its
+index log (§II).  Reading requires the *global index*: the union of every
+writer's records, resolved last-writer-wins by timestamp (the paper's
+footnote 1 — synchronized clocks, and HPC checkpoints rarely overwrite
+anyway).  Resolution reuses :class:`repro.pfs.extents.ExtentJournal`, the
+same machinery the simulated PFS uses for file contents.
+
+Index logs are real files on the backing store with a fixed 48-byte
+on-media record (matching the C struct's weight), so aggregation
+strategies move and pay for real bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from ..errors import PLFSError
+from ..pfs.data import DataView, LiteralData
+from ..pfs.extents import RECORD_BYTES, ExtentJournal, FlatMap
+
+__all__ = ["RECORD_DTYPE", "WriterIndex", "GlobalIndex"]
+
+RECORD_DTYPE = np.dtype([
+    ("logical", "<i8"),
+    ("length", "<i8"),
+    ("physical", "<i8"),
+    ("stamp", "<f8"),
+    ("writer", "<i8"),
+    ("_pad", "<i8"),
+])
+assert RECORD_DTYPE.itemsize == RECORD_BYTES
+
+
+class WriterIndex:
+    """One writer's in-memory index buffer (spilled to its index log).
+
+    With ``merge=True`` (PLFS's behaviour), a record whose logical *and*
+    physical ranges both extend the previous record coalesces into it —
+    sequential writers keep O(1)-sized indexes, while strided patterns
+    (the interesting case) still produce one record per write.
+    """
+
+    def __init__(self, writer_id: int, node_id: int, merge: bool = False):
+        self.writer_id = writer_id
+        self.node_id = node_id
+        self.merge = merge
+        self.journal = ExtentJournal()
+        self._last_ends: Tuple[int, int] = (-1, -1)  # (logical end, physical end)
+
+    def __len__(self) -> int:
+        return len(self.journal)
+
+    @property
+    def nbytes(self) -> int:
+        """On-media size of the buffered records."""
+        return self.journal.nbytes
+
+    def record(self, logical: int, length: int, physical: int, stamp: float) -> None:
+        """Note that [logical, logical+length) now lives at *physical* in the data log."""
+        if self.merge and self._last_ends == (logical, physical) and len(self.journal):
+            self.journal.grow_last(length)
+        else:
+            self.journal.append(logical, length, src=self.writer_id, src_off=physical,
+                                stamp=stamp, minor=self.writer_id)
+        self._last_ends = (logical + length, physical + length)
+
+    def seal(self) -> None:
+        """Forbid merging into existing records (call after spilling them —
+        a grown record would silently diverge from its on-media copy)."""
+        self._last_ends = (-1, -1)
+
+    def serialize(self) -> LiteralData:
+        """On-media bytes of this index log."""
+        return self.serialize_range(0, len(self.journal))
+
+    def serialize_range(self, lo: int, hi: int) -> LiteralData:
+        """On-media bytes of records [lo, hi) — used by periodic spills."""
+        start, length, _src, src_off, stamp, _minor = self.journal.columns()
+        n = hi - lo
+        arr = np.empty(n, dtype=RECORD_DTYPE)
+        arr["logical"] = start[lo:hi]
+        arr["length"] = length[lo:hi]
+        arr["physical"] = src_off[lo:hi]
+        arr["stamp"] = stamp[lo:hi]
+        arr["writer"] = self.writer_id
+        arr["_pad"] = 0
+        return LiteralData(arr.view(np.uint8).reshape(-1))
+
+    @staticmethod
+    def parse(view: DataView, writer_id: int, node_id: int) -> "GlobalIndex":
+        """Parse one index log's bytes into a single-writer GlobalIndex."""
+        raw = view.materialize()
+        if raw.size % RECORD_BYTES:
+            raise PLFSError(f"index log size {raw.size} not a record multiple")
+        arr = raw.view(RECORD_DTYPE)
+        gi = GlobalIndex()
+        gi.add_records(arr["logical"], arr["length"], arr["physical"],
+                       arr["stamp"], writer_id)
+        gi.writers[writer_id] = node_id
+        return gi
+
+
+class GlobalIndex:
+    """The merged index of a container: extent journal + writer table."""
+
+    def __init__(self) -> None:
+        self.journal = ExtentJournal()
+        self.writers: Dict[int, int] = {}  # writer_id -> node_id (for log paths)
+
+    def __len__(self) -> int:
+        return len(self.journal)
+
+    @property
+    def nbytes(self) -> int:
+        """Wire/media weight: records plus the (small) writer table."""
+        return self.journal.nbytes + 16 * len(self.writers)
+
+    @property
+    def logical_size(self) -> int:
+        """Logical EOF implied by the records."""
+        return self.journal.size
+
+    def add_records(self, logical, length, physical, stamp, writer_id: int) -> None:
+        """Bulk-append parsed record arrays for one writer."""
+        wid = int(writer_id)
+        self.journal.extend_arrays(logical, length, src=wid, src_off=physical,
+                                   stamp=stamp, minor=wid)
+
+    def merge_writer(self, widx: WriterIndex) -> None:
+        """Absorb a writer's in-memory index (gather-side aggregation)."""
+        self.journal.extend(widx.journal)
+        self.writers[widx.writer_id] = widx.node_id
+
+    def merge(self, other: "GlobalIndex") -> None:
+        """Absorb another global index's records and writer table."""
+        self.journal.extend(other.journal)
+        self.writers.update(other.writers)
+
+    @classmethod
+    def merged(cls, parts: Iterable["GlobalIndex"]) -> "GlobalIndex":
+        """Union of several global indexes."""
+        out = cls()
+        for p in parts:
+            out.merge(p)
+        return out
+
+    def flatten(self) -> FlatMap:
+        """Resolve to a non-overlapping logical->physical map."""
+        return self.journal.flatten()
+
+    # -- media form (the flatten strategy's global.index file) ----------------
+    def serialize(self) -> LiteralData:
+        start, length, src, src_off, stamp, _minor = self.journal.columns()
+        n = len(start)
+        w = len(self.writers)
+        header = np.array([n, w], dtype=np.int64)
+        recs = np.empty(n, dtype=RECORD_DTYPE)
+        recs["logical"] = start
+        recs["length"] = length
+        recs["physical"] = src_off
+        recs["stamp"] = stamp
+        recs["writer"] = src
+        recs["_pad"] = 0
+        wtab = np.array(sorted(self.writers.items()), dtype=np.int64).reshape(w, 2)
+        blob = np.concatenate([
+            header.view(np.uint8),
+            recs.view(np.uint8).reshape(-1),
+            wtab.view(np.uint8).reshape(-1),
+        ])
+        return LiteralData(blob)
+
+    @classmethod
+    def deserialize(cls, view: DataView) -> "GlobalIndex":
+        raw = view.materialize()
+        if raw.size < 16:
+            raise PLFSError("global index blob too short")
+        n, w = (int(x) for x in raw[:16].view(np.int64))
+        need = 16 + n * RECORD_BYTES + w * 16
+        if raw.size != need:
+            raise PLFSError(f"global index blob size {raw.size} != expected {need}")
+        recs = raw[16:16 + n * RECORD_BYTES].view(RECORD_DTYPE)
+        gi = cls()
+        if n:
+            gi.journal.extend_arrays(recs["logical"], recs["length"],
+                                     src=recs["writer"], src_off=recs["physical"],
+                                     stamp=recs["stamp"], minor=recs["writer"])
+        wtab = raw[16 + n * RECORD_BYTES:].view(np.int64).reshape(w, 2)
+        gi.writers = {int(a): int(b) for a, b in wtab}
+        return gi

@@ -1,0 +1,25 @@
+"""Discrete-event simulation kernel (engine, resources, measurement)."""
+
+from .engine import AllOf, AnyOf, Engine, Event, Process, Timeout
+from .probes import BandwidthProbe, summarize_probe
+from .resources import FairShareServer, Mutex, Resource, Store
+from .stats import JobMetrics, PhaseClock, Summary, summarize
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Engine",
+    "Event",
+    "Process",
+    "Timeout",
+    "BandwidthProbe",
+    "summarize_probe",
+    "FairShareServer",
+    "Mutex",
+    "Resource",
+    "Store",
+    "JobMetrics",
+    "PhaseClock",
+    "Summary",
+    "summarize",
+]

@@ -1,0 +1,382 @@
+"""Discrete-event simulation engine.
+
+The whole repro stack (network, file system, MPI, PLFS) runs on this small
+coroutine-based engine.  Simulated activities are plain Python generator
+functions that ``yield`` :class:`Event` objects; the engine resumes them when
+the event fires.  The style matches SimPy's but the implementation is
+self-contained and tuned for the bulk-synchronous workloads we simulate:
+
+* yielding an already-triggered event resumes the process inline (no heap
+  round-trip), which matters when 65,536 rank processes hammer shared
+  resources;
+* event callbacks never recurse more than one level — follow-on triggers go
+  through the heap — so arbitrarily long completion chains cannot overflow
+  the Python stack.
+
+Example
+-------
+>>> env = Engine()
+>>> def hello(env):
+...     yield env.timeout(1.5)
+...     return env.now
+>>> proc = env.process(hello(env))
+>>> env.run()
+>>> proc.value
+1.5
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from ..errors import DeadlockError, SimulationError
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+]
+
+_PENDING = object()  # sentinel: event value not yet set
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*; it is *triggered* once :meth:`succeed` or
+    :meth:`fail` is called, and *processed* once the engine has run its
+    callbacks.  Processes wait on events by ``yield``-ing them.
+
+    Setting ``daemon = True`` *before* the event is scheduled marks it as
+    background work: the engine stops once only daemon events remain
+    (instrumentation probes use this so they never keep a run alive).
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_exc", "_processed", "daemon")
+
+    def __init__(self, env: "Engine"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._exc: Optional[BaseException] = None
+        self._processed = False
+        self.daemon = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value or an exception."""
+        return self._value is not _PENDING or self._exc is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (the event is fully in the past)."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True when triggered successfully (not failed)."""
+        return self._value is not _PENDING and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        """The success value; raises if the event failed or is pending."""
+        if self._exc is not None:
+            raise self._exc
+        if self._value is _PENDING:
+            raise SimulationError(f"{self!r} has not been triggered")
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The failure, if the event failed; else None."""
+        return self._exc
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, scheduling callbacks for *now*."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception propagates into each waiting process; if nothing is
+        waiting when the callbacks run, the engine re-raises it (an unhandled
+        simulated failure is a bug in the model, not a condition to swallow).
+        """
+        if not isinstance(exc, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exc!r}")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._exc = exc
+        self.env._schedule(self)
+        return self
+
+    def _add_callback(self, cb: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            raise SimulationError(f"cannot wait on processed event {self!r}")
+        self.callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay.
+
+    ``daemon=True`` marks it background work (see :class:`Event`).
+    """
+
+    __slots__ = ()
+
+    def __init__(self, env: "Engine", delay: float, value: Any = None,
+                 daemon: bool = False):
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay!r}")
+        super().__init__(env)
+        self._value = value
+        self.daemon = daemon
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """A running simulated activity wrapping a generator.
+
+    A process is itself an event: it triggers with the generator's return
+    value when the generator finishes (or fails with its exception), so
+    processes can wait on other processes by yielding them.
+    """
+
+    __slots__ = ("_gen", "name")
+
+    def __init__(self, env: "Engine", gen: Generator, name: str = ""):
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                f"process() needs a generator, got {type(gen).__name__}; "
+                "did you call a plain function instead of a generator function?"
+            )
+        super().__init__(env)
+        self._gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        # Kick off at the current time via an initial event.
+        start = Event(env)
+        start._value = None
+        start._add_callback(self._resume)
+        env._schedule(start)
+
+    @property
+    def alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator; loop inline over already-triggered yields."""
+        gen = self._gen
+        while True:
+            try:
+                if event._exc is not None:
+                    target = gen.throw(event._exc)
+                else:
+                    target = gen.send(event._value)
+            except StopIteration as stop:
+                self._value = stop.value
+                self.env._schedule(self)
+                return
+            except BaseException as exc:
+                self._exc = exc
+                self.env._schedule(self)
+                return
+            if not isinstance(target, Event):
+                exc = SimulationError(
+                    f"process {self.name!r} yielded {target!r}; processes must yield Event objects"
+                )
+                gen.close()
+                self._exc = exc
+                self.env._schedule(self)
+                return
+            if target.callbacks is None:
+                # Already processed: consume its value/exception inline.
+                event = target
+                continue
+            target._add_callback(self._resume)
+            return
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name} {state}>"
+
+
+class AllOf(Event):
+    """Triggers when every child event has triggered; value is the list of values.
+
+    Fails fast with the first child failure.
+    """
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, env: "Engine", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        pending = []
+        for ev in self._events:
+            if ev.env is not env:
+                raise SimulationError("condition mixes events from different engines")
+            if ev.callbacks is None:  # already processed
+                if ev._exc is not None:
+                    self.fail(ev._exc)
+                    return
+            else:
+                pending.append(ev)
+        self._remaining = len(pending)
+        if self._remaining == 0:
+            self.succeed([ev._value for ev in self._events])
+            return
+        for ev in pending:
+            ev._add_callback(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exc is not None:
+            self.fail(event._exc)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([ev._value for ev in self._events])
+
+
+class AnyOf(Event):
+    """Triggers when the first child event triggers; value is that child's value.
+
+    With an empty child list it triggers immediately with ``None``.
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, env: "Engine", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        for ev in self._events:
+            if ev.env is not env:
+                raise SimulationError("condition mixes events from different engines")
+        if not self._events:
+            self.succeed(None)
+            return
+        for ev in self._events:
+            if ev.callbacks is None:
+                self._check(ev)
+                return
+        for ev in self._events:
+            ev._add_callback(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exc is not None:
+            self.fail(event._exc)
+        else:
+            self.succeed(event._value)
+
+
+class Engine:
+    """The event loop: a time-ordered heap of triggered events.
+
+    Typical use::
+
+        env = Engine()
+        env.process(my_activity(env))
+        env.run()
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List = []
+        self._eid = 0
+        self._live = 0  # scheduled non-daemon events
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- factory helpers ---------------------------------------------------
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None, *,
+                daemon: bool = False) -> Timeout:
+        return Timeout(self, delay, value, daemon=daemon)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Spawn *gen* as a simulated process."""
+        return Process(self, gen, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all children have."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires with the first child."""
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._eid += 1
+        if not event.daemon:
+            self._live += 1
+        heapq.heappush(self._heap, (self._now + delay, self._eid, event))
+
+    def step(self) -> None:
+        """Process the next event; raises IndexError when the heap is empty."""
+        t, _, event = heapq.heappop(self._heap)
+        if t < self._now:  # pragma: no cover - defensive
+            raise SimulationError("time went backwards")
+        if not event.daemon:
+            self._live -= 1
+        self._now = t
+        callbacks, event.callbacks = event.callbacks, None
+        event._processed = True
+        for cb in callbacks:
+            cb(event)
+        if event._exc is not None and not callbacks and not isinstance(event, Process):
+            # A failed non-process event nobody waited for: surface the bug.
+            raise event._exc
+        if event._exc is not None and isinstance(event, Process) and not callbacks:
+            raise event._exc
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until only daemon work remains, or until simulated time *until*.
+
+        Daemon events (instrumentation probes) never keep a run alive; they
+        stay queued and resume if later real work advances the clock past
+        them.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(f"run(until={until}) is in the past (now={self._now})")
+        while self._heap and self._live > 0:
+            if until is not None and self._heap[0][0] > until:
+                self._now = until
+                return
+            self.step()
+
+    def run_process(self, gen: Generator, name: str = "") -> Any:
+        """Convenience: spawn *gen*, run to completion, return its result.
+
+        Raises :class:`DeadlockError` if the event queue drains while the
+        process is still blocked (a modeling bug: something never released).
+        """
+        proc = self.process(gen, name)
+        self.run()
+        if not proc.triggered:
+            raise DeadlockError(f"event queue drained with {proc!r} still blocked")
+        return proc.value

@@ -1,0 +1,81 @@
+"""Time-series probes: watch a resource's throughput as the run unfolds.
+
+Counters (busy time, totals) say *how much*; probes say *when*.  A
+:class:`BandwidthProbe` samples a fair-share server's cumulative service
+on a fixed period, yielding a `(time, rate)` series — the I/O-phase
+timeline plots storage papers live on (burst, drain, idle gap, next
+burst).
+
+    probe = BandwidthProbe(env, volume.storage_net.pipe, period=0.1)
+    ... run the workload ...
+    for t, rate in probe.series():
+        ...
+
+Probes are simulated processes; they stop sampling automatically when the
+run ends (the event queue drains) and add negligible event load.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import SimulationError
+from .engine import Engine
+from .resources import FairShareServer
+
+__all__ = ["BandwidthProbe", "summarize_probe"]
+
+
+class BandwidthProbe:
+    """Periodic sampler of a :class:`FairShareServer`'s *delivered* units/second."""
+
+    def __init__(self, env: Engine, server: FairShareServer, period: float,
+                 name: str = ""):
+        if period <= 0:
+            raise SimulationError(f"probe period must be positive, got {period}")
+        self.env = env
+        self.server = server
+        self.period = period
+        self.name = name or getattr(server, "name", "probe")
+        self._samples: List[Tuple[float, float]] = []
+        self._last_total = server.work_delivered()
+        self._running = True
+        env.process(self._run(), name=f"probe:{self.name}")
+
+    def _run(self):
+        while self._running:
+            # Daemon ticks: the probe never keeps the run alive by itself.
+            yield self.env.timeout(self.period, daemon=True)
+            delivered = self.server.work_delivered()
+            rate = (delivered - self._last_total) / self.period
+            self._samples.append((self.env.now, rate))
+            self._last_total = delivered
+
+    def stop(self) -> None:
+        """Stop sampling after the next tick (lets a run's queue drain)."""
+        self._running = False
+
+    def series(self) -> List[Tuple[float, float]]:
+        """(sample time, average rate over the preceding period) pairs."""
+        return list(self._samples)
+
+    def peak(self) -> float:
+        """Highest sampled rate."""
+        return max((r for _, r in self._samples), default=0.0)
+
+    def mean(self) -> float:
+        """Mean sampled rate over the probe's lifetime."""
+        if not self._samples:
+            return 0.0
+        return sum(r for _, r in self._samples) / len(self._samples)
+
+
+def summarize_probe(probe: BandwidthProbe, capacity: float) -> Tuple[float, float, float]:
+    """(peak rate, mean rate, duty cycle vs *capacity*) for a probe."""
+    samples = probe.series()
+    if not samples or capacity <= 0:
+        return (0.0, 0.0, 0.0)
+    peak = probe.peak()
+    mean = probe.mean()
+    busy = sum(1 for _, r in samples if r > 0.01 * capacity)
+    return (peak, mean, busy / len(samples))

@@ -1,0 +1,247 @@
+"""Shared-resource primitives for the simulation engine.
+
+Three primitives cover every contention effect in the modeled I/O stack:
+
+:class:`Resource`
+    A counted semaphore with FIFO queuing — used for bounded service slots
+    (e.g. an OSD's outstanding-command limit) and, with capacity 1, as a
+    mutex (e.g. a directory lock held during a create).
+
+:class:`FairShareServer`
+    A generalized-processor-sharing (GPS) server: *k* concurrent jobs each
+    progress at ``capacity / k``.  This is the fluid model of a shared
+    network link, a storage array, or a multithreaded metadata server, and
+    it is what makes bulk-synchronous bandwidth curves come out right: when
+    N ranks write at once, each one's transfer takes N times longer, yet
+    aggregate throughput stays at capacity.  Implemented with the classic
+    virtual-time algorithm so each job costs O(log n), which is what lets
+    us run 65,536-rank jobs.
+
+:class:`Store`
+    An unbounded FIFO hand-off queue (producer/consumer), used for message
+    mailboxes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Deque, List, Tuple
+
+from ..errors import SimulationError
+from .engine import Engine, Event
+
+__all__ = ["Resource", "Mutex", "FairShareServer", "Store"]
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    ``yield res.acquire(n)`` blocks until *n* units are available; pair with
+    ``res.release(n)``.  Grants are strictly FIFO: a large request at the
+    head of the queue blocks later small ones (no starvation, no barging),
+    matching how slot-limited storage servers admit requests.
+    """
+
+    def __init__(self, env: Engine, capacity: int, name: str = ""):
+        if capacity < 1:
+            raise SimulationError(f"Resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._available = capacity
+        self._waiters: Deque[Tuple[Event, int]] = deque()
+        # Stats.
+        self.total_acquired = 0
+        self.peak_queue = 0
+
+    @property
+    def available(self) -> int:
+        """Units currently free."""
+        return self._available
+
+    @property
+    def queued(self) -> int:
+        """Requests waiting for capacity."""
+        return len(self._waiters)
+
+    def acquire(self, n: int = 1) -> Event:
+        """Return an event that fires once *n* units have been granted."""
+        if n < 1 or n > self.capacity:
+            raise SimulationError(f"cannot acquire {n} of capacity {self.capacity}")
+        ev = Event(self.env)
+        if not self._waiters and self._available >= n:
+            self._available -= n
+            self.total_acquired += n
+            ev.succeed(n)
+        else:
+            self._waiters.append((ev, n))
+            self.peak_queue = max(self.peak_queue, len(self._waiters))
+        return ev
+
+    def release(self, n: int = 1) -> None:
+        """Return *n* units and grant queued requests in FIFO order."""
+        self._available += n
+        if self._available > self.capacity:
+            raise SimulationError(f"over-release on {self.name or 'Resource'}")
+        while self._waiters and self._available >= self._waiters[0][1]:
+            ev, want = self._waiters.popleft()
+            self._available -= want
+            self.total_acquired += want
+            ev.succeed(want)
+
+class Mutex(Resource):
+    """A capacity-1 resource; reads better at call sites guarding one object."""
+
+    def __init__(self, env: Engine, name: str = ""):
+        super().__init__(env, 1, name)
+
+
+class FairShareServer:
+    """Generalized processor sharing over a fixed capacity.
+
+    ``serve(demand)`` returns an event firing when *demand* units of work
+    complete, with instantaneous per-job rate ``capacity / active_jobs``.
+
+    The virtual-time algorithm: let ``V(t)`` be the cumulative service each
+    active job has received.  While the active set is constant, ``V`` grows
+    at ``capacity / k``.  A job arriving at time ``t0`` with demand ``d``
+    finishes when ``V == V(t0) + d``, so completions are just a min-heap on
+    virtual finish times, and arrivals/departures only change the growth
+    rate of ``V``.
+    """
+
+    def __init__(self, env: Engine, capacity: float, name: str = ""):
+        if not (capacity > 0):
+            raise SimulationError(f"FairShareServer capacity must be > 0, got {capacity}")
+        self.env = env
+        self.capacity = float(capacity)
+        self.name = name
+        self._vtime = 0.0  # cumulative per-job virtual service
+        self._t_last = 0.0  # wall time of last vtime update
+        self._jobs: List[Tuple[float, int, Event]] = []  # (finish_vtime, seq, event)
+        self._seq = 0
+        self._timer_seq = 0  # invalidates stale completion timers
+        # Stats.
+        self.total_served = 0.0
+        self.peak_active = 0
+        self.busy_time = 0.0
+
+    @property
+    def active(self) -> int:
+        """Jobs currently in service."""
+        return len(self._jobs)
+
+    def _advance(self) -> None:
+        """Advance virtual time to `env.now`."""
+        now = self.env.now
+        if self._jobs:
+            dt = now - self._t_last
+            if dt > 0:
+                self._vtime += dt * self.capacity / len(self._jobs)
+                self.busy_time += dt
+        self._t_last = now
+
+    def serve(self, demand: float) -> Event:
+        """Submit *demand* units of work; returns the completion event."""
+        if demand < 0:
+            raise SimulationError(f"negative demand {demand!r}")
+        ev = Event(self.env)
+        if demand == 0:
+            ev.succeed()
+            return ev
+        self._advance()
+        self._seq += 1
+        heapq.heappush(self._jobs, (self._vtime + demand, self._seq, ev))
+        self.total_served += demand
+        self.peak_active = max(self.peak_active, len(self._jobs))
+        self._reschedule()
+        return ev
+
+    def _reschedule(self) -> None:
+        """(Re)arm the completion timer for the earliest virtual finish."""
+        if not self._jobs:
+            return
+        finish_v = self._jobs[0][0]
+        k = len(self._jobs)
+        dt = max(0.0, (finish_v - self._vtime) * k / self.capacity)
+        self._timer_seq += 1
+        my_seq = self._timer_seq
+        timer = self.env.timeout(dt)
+        timer._add_callback(lambda _ev, s=my_seq: self._on_timer(s))
+
+    def _on_timer(self, seq: int) -> None:
+        if seq != self._timer_seq:
+            return  # stale timer; a newer arrival re-armed it
+        self._advance()
+        # Complete every job whose virtual finish has been reached.  The
+        # epsilon absorbs float drift so simultaneous finishers batch.
+        eps = 1e-9 * max(1.0, abs(self._vtime))
+        completed = []
+        while self._jobs and self._jobs[0][0] <= self._vtime + eps:
+            _, _, ev = heapq.heappop(self._jobs)
+            completed.append(ev)
+        if not completed and self._jobs:
+            # Float underflow: the timer was armed for the heap top, but the
+            # residual virtual time is below the resolution of `now` so
+            # _advance() made no progress.  Only arrivals could have changed
+            # the top since arming (they re-arm), so completing it is exact
+            # up to one ulp — and refusing to would loop forever.
+            fv, _, ev = heapq.heappop(self._jobs)
+            self._vtime = fv
+            completed.append(ev)
+        for ev in completed:
+            ev.succeed()
+        self._reschedule()
+
+    def work_remaining(self) -> float:
+        """Demand units still owed to in-flight jobs (at the current time)."""
+        self._advance()
+        return sum(fv - self._vtime for fv, _, _ in self._jobs)
+
+    def work_delivered(self) -> float:
+        """Demand units actually served so far (total accepted minus in flight)."""
+        return self.total_served - self.work_remaining()
+
+    def utilization(self) -> float:
+        """Fraction of elapsed simulated time the server had active jobs."""
+        if self.env.now == 0:
+            return 0.0
+        busy = self.busy_time
+        if self._jobs:
+            busy += self.env.now - self._t_last
+        return busy / self.env.now
+
+
+class Store:
+    """An unbounded FIFO queue connecting producer and consumer processes.
+
+    ``put`` never blocks; ``yield store.get()`` blocks until an item is
+    available.  Items are delivered in insertion order, one per getter, in
+    getter-arrival order.
+    """
+
+    def __init__(self, env: Engine, name: str = ""):
+        self.env = env
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit an item (never blocks)."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event yielding the next item, FIFO."""
+        ev = Event(self.env)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev

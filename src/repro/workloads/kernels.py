@@ -1,0 +1,166 @@
+"""The paper's application I/O kernels (§IV-D): Pixie3D, ARAMCO, MADbench,
+LANL 1, LANL 3.
+
+Each kernel reproduces the *access pattern* the paper describes; sizes
+default to scaled-down values (the harness scales them up for paper-scale
+runs).  All are N-1 (shared file) — that is the whole point of the study.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..errors import ConfigError
+from ..formats import HDF5Layout, NetCDFLayout
+from ..units import KB, MB, MiB
+from .base import Extent, Workload
+
+__all__ = ["Pixie3D", "Aramco", "MADbench", "LANL1", "LANL3"]
+
+
+class Pixie3D(Workload):
+    """Pixie3D MHD checkpoint via pnetCDF [15]: large per-variable blocks.
+
+    Weak scaling, 1 GB per process in the paper (§IV-D1); each rank owns
+    one contiguous block per variable, written in ``io_size`` chunks.
+    Rank 0 also writes the netCDF header.
+    """
+
+    name = "pixie3d"
+
+    def __init__(self, nprocs: int, *, per_proc: int = 64 * MiB,
+                 n_vars: int = 8, io_size: int = 8 * MiB):
+        super().__init__(nprocs)
+        if per_proc % n_vars:
+            raise ConfigError("per_proc must divide evenly across variables")
+        self.layout = NetCDFLayout(n_vars=n_vars, block_per_rank=per_proc // n_vars,
+                                   nprocs=nprocs)
+        self.io_size = io_size
+
+    def write_rounds(self, rank: int) -> Iterator[List[Extent]]:
+        """Per-variable blocks (rank 0 also writes the netCDF header)."""
+        if rank == 0:
+            yield [self.layout.header_extent()]
+        for off, ln in self.layout.rank_extents(rank):
+            pos = 0
+            while pos < ln:
+                n = min(self.io_size, ln - pos)
+                yield [(off + pos, n)]
+                pos += n
+
+
+class Aramco(Workload):
+    """The Saudi ARAMCO seismic kernel (§IV-D2): HDF5, strong scaling.
+
+    The total dataset size is fixed; more processes each write (and read)
+    less, so index-aggregation time eventually dominates reading — the
+    crossover the paper highlights.  Rank 0 interleaves the HDF5 metadata
+    dribbles.
+    """
+
+    name = "aramco"
+
+    def __init__(self, nprocs: int, *, total_bytes: int = 2 * 1024 * MiB,
+                 chunk: int = 1 * MiB):
+        super().__init__(nprocs)
+        chunks_total = total_bytes // chunk
+        per_rank = max(1, chunks_total // nprocs)
+        self.layout = HDF5Layout(chunk_bytes=chunk, chunks_per_rank=per_rank,
+                                 nprocs=nprocs)
+
+    def write_rounds(self, rank: int) -> Iterator[List[Extent]]:
+        """Round-robin chunks; rank 0 interleaves HDF5 metadata dribbles."""
+        if rank == 0:
+            yield [self.layout.superblock_extent()]
+            md = list(self.layout.metadata_extents())
+        else:
+            md = []
+        md_i = 0
+        for c, ext in enumerate(self.layout.rank_extents(rank)):
+            yield [ext]
+            if rank == 0 and c % self.layout.md_every_chunks == 0 and md_i < len(md):
+                yield [md[md_i]]
+                md_i += 1
+        while rank == 0 and md_i < len(md):
+            yield [md[md_i]]
+            md_i += 1
+
+
+class MADbench(Workload):
+    """MADbench [17] (§IV-D4): out-of-core matrices, big segments per phase,
+    then read back in its entirety (as the paper ran only the I/O phases)."""
+
+    name = "madbench"
+
+    def __init__(self, nprocs: int, *, matrix_bytes_per_rank: int = 16 * MiB,
+                 n_components: int = 8, io_size: int = 4 * MiB):
+        super().__init__(nprocs)
+        self.segment = matrix_bytes_per_rank
+        self.n_components = n_components
+        self.io_size = io_size
+
+    def write_rounds(self, rank: int) -> Iterator[List[Extent]]:
+        """Per-component contiguous segments."""
+        phase_bytes = self.segment * self.nprocs
+        for comp in range(self.n_components):
+            base = comp * phase_bytes + rank * self.segment
+            pos = 0
+            while pos < self.segment:
+                n = min(self.io_size, self.segment - pos)
+                yield [(base + pos, n)]
+                pos += n
+
+
+class LANL1(Workload):
+    """LANL 1 (§IV-D5): mission-critical weak-scaling code, N-1 strided
+    writes in ~500,000-byte increments."""
+
+    name = "lanl1"
+
+    def __init__(self, nprocs: int, *, per_proc: int = 16 * MB,
+                 record: int = 500 * KB):
+        super().__init__(nprocs)
+        self.per_proc = per_proc
+        self.record = record
+
+    def write_rounds(self, rank: int) -> Iterator[List[Extent]]:
+        """Strided ~500 KB records."""
+        written, i = 0, 0
+        while written < self.per_proc:
+            ln = min(self.record, self.per_proc - written)
+            yield [(rank * self.record + i * self.nprocs * self.record, ln)]
+            written += ln
+            i += 1
+
+
+class LANL3(Workload):
+    """LANL 3 (§IV-D6): strong scaling, 1024-byte records, 32 GB total,
+    run with collective buffering (the paper enables it via hints).
+
+    The two-phase exchange is what actually reaches the file system, so
+    the plan is expressed at collective-round granularity: each round
+    covers one contiguous span of the file and every rank contributes its
+    1/N share.  This is byte- and cost-equivalent to the 1024-byte strided
+    description after aggregation, without simulating 33 million records
+    individually (see DESIGN.md §2).
+    """
+
+    name = "lanl3"
+    collective_write = True
+    collective_read = True
+
+    def __init__(self, nprocs: int, *, total_bytes: int = 2 * 1024 * MiB,
+                 round_bytes: int = 64 * MiB, record: int = 1024):
+        super().__init__(nprocs)
+        round_bytes = min(round_bytes, total_bytes)
+        round_bytes = max(nprocs, (round_bytes // nprocs) * nprocs)
+        self.total = max(round_bytes, (total_bytes // round_bytes) * round_bytes)
+        self.round_bytes = round_bytes
+        self.record = record  # the application's logical record size
+
+    def write_rounds(self, rank: int) -> Iterator[List[Extent]]:
+        """Collective rounds: each rank contributes its 1/N share."""
+        share = self.round_bytes // self.nprocs
+        for r in range(self.total // self.round_bytes):
+            base = r * self.round_bytes + rank * share
+            yield [(base, share)]

@@ -1,0 +1,125 @@
+"""Metadata benchmarks (§V, §VI): N-N create storms and N-1 open storms.
+
+Fig. 7 / Fig. 8b measure the open and close time of a simulated large N-N
+job — every process creates/opens multiple files — with and without PLFS,
+across metadata-server counts.  With PLFS every file is a container, so
+an open is a container creation (the burden) spread over federated
+volumes (the win).  Fig. 8c measures the N-1 flavour: all processes open
+one shared PLFS file for write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..harness.setup import World
+from ..mpi import run_job
+
+__all__ = ["MetadataTimes", "nn_metadata_storm", "n1_open_storm"]
+
+
+@dataclass
+class MetadataTimes:
+    """Max-over-ranks open and close phase times of one metadata job."""
+
+    stack: str
+    nprocs: int
+    files_per_proc: int
+    open_time: float
+    close_time: float
+
+    @property
+    def total_files(self) -> int:
+        return self.nprocs * self.files_per_proc
+
+
+def nn_metadata_storm(world: World, nprocs: int, files_per_proc: int,
+                      stack: str, dirname: str = "/meta") -> MetadataTimes:
+    """Every rank creates, then closes, ``files_per_proc`` private files.
+
+    ``stack="plfs"`` goes through the mount (container per file, spread by
+    the configured federation); ``stack="direct"`` creates plain files in
+    one shared directory of volume 0 — the single-MDS, single-directory
+    baseline the paper compares against.
+    """
+    if stack not in ("plfs", "direct"):
+        raise ConfigError(f"stack must be 'plfs' or 'direct', got {stack!r}")
+    use_plfs = stack == "plfs"
+    mount, volume = world.mount, world.volume
+
+    def fn(ctx):
+        if ctx.rank == 0:
+            if use_plfs:
+                yield from mount.mkdir(ctx.client, dirname)
+            elif not volume.ns.exists(dirname):
+                yield from volume.makedirs(ctx.client, dirname)
+        yield from ctx.comm.barrier()
+        paths = [f"{dirname}/f.{ctx.client.client_id}.{i}"
+                 for i in range(files_per_proc)]
+        handles = []
+        ctx.start("open")
+        for p in paths:
+            if use_plfs:
+                h = yield from mount.open_write(ctx.client, p, None)
+            else:
+                h = yield from volume.open(ctx.client, p, "w", create=True)
+            handles.append(h)
+        ctx.stop("open")
+        ctx.start("close")
+        for h in handles:
+            if use_plfs:
+                yield from mount.close_write(h, None)
+            else:
+                yield from h.close()
+        ctx.stop("close")
+
+    job = run_job(world.env, world.cluster, nprocs, fn, name=f"nn-meta-{stack}")
+    return MetadataTimes(
+        stack=stack, nprocs=nprocs, files_per_proc=files_per_proc,
+        open_time=job.metrics.phase_max.get("open", 0.0),
+        close_time=job.metrics.phase_max.get("close", 0.0),
+    )
+
+
+def n1_open_storm(world: World, nprocs: int, stack: str,
+                  path: str = "/meta-n1/shared") -> MetadataTimes:
+    """All ranks open ONE shared file for write (Fig. 8c), then close it."""
+    if stack not in ("plfs", "direct"):
+        raise ConfigError(f"stack must be 'plfs' or 'direct', got {stack!r}")
+    use_plfs = stack == "plfs"
+    mount, volume = world.mount, world.volume
+    parent = path.rpartition("/")[0]
+
+    def fn(ctx):
+        if ctx.rank == 0 and parent:
+            if use_plfs:
+                yield from mount.mkdir(ctx.client, parent)
+            elif not volume.ns.exists(parent):
+                yield from volume.makedirs(ctx.client, parent)
+        yield from ctx.comm.barrier()
+        ctx.start("open")
+        if use_plfs:
+            h = yield from mount.open_write(ctx.client, path, ctx.comm)
+        else:
+            if ctx.rank == 0:
+                h = yield from volume.open(ctx.client, path, "w", create=True)
+                yield from ctx.comm.bcast(None, nbytes=8, root=0)
+            else:
+                yield from ctx.comm.bcast(None, nbytes=8, root=0)
+                h = yield from volume.open(ctx.client, path, "w")
+        yield from ctx.comm.barrier()  # open time = until the whole job is open
+        ctx.stop("open")
+        ctx.start("close")
+        if use_plfs:
+            yield from mount.close_write(h, ctx.comm)
+        else:
+            yield from h.close()
+        ctx.stop("close")
+
+    job = run_job(world.env, world.cluster, nprocs, fn, name=f"n1-open-{stack}")
+    return MetadataTimes(
+        stack=stack, nprocs=nprocs, files_per_proc=1,
+        open_time=job.metrics.phase_max.get("open", 0.0),
+        close_time=job.metrics.phase_max.get("close", 0.0),
+    )

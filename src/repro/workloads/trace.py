@@ -1,0 +1,193 @@
+"""Trace-driven workloads: replay real applications' I/O shapes.
+
+The paper's "I/O kernels derived from applications" (§IV-D) are exactly
+this: the offsets and lengths an application issues, detached from its
+computation.  This module gives downstream users the same capability —
+record or write down a trace, replay it against any stack:
+
+    # rank op    offset      length
+    0      write 0           47001
+    1      write 47001       47001
+    0      read  0           47001
+
+Format: whitespace-separated columns, ``#`` comments, ops ``write`` /
+``read``.  Ranks replay their ops in trace order; an optional ``barrier``
+op (no offset/length) synchronizes all ranks mid-trace, letting traces
+express checkpoint phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import ConfigError
+from .base import Extent, Workload
+
+__all__ = ["TraceOp", "IOTrace", "TraceWorkload", "synthesize_strided_trace"]
+
+_OPS = ("write", "read", "barrier")
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One traced operation."""
+
+    rank: int
+    op: str
+    offset: int = 0
+    length: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ConfigError(f"unknown trace op {self.op!r}")
+        if self.rank < 0:
+            raise ConfigError(f"negative rank {self.rank}")
+        if self.op != "barrier" and (self.offset < 0 or self.length <= 0):
+            raise ConfigError(
+                f"{self.op} needs offset >= 0 and length > 0, got "
+                f"({self.offset}, {self.length})")
+
+
+class IOTrace:
+    """An ordered multi-rank I/O trace."""
+
+    def __init__(self, ops: List[TraceOp]):
+        self.ops = list(ops)
+        self._validate()
+
+    def _validate(self) -> None:
+        for op in self.ops:
+            if not isinstance(op, TraceOp):
+                raise ConfigError(f"trace contains non-TraceOp {op!r}")
+
+    @property
+    def nprocs(self) -> int:
+        """Rank count implied by the trace (max data-op rank + 1)."""
+        data_ops = [op.rank for op in self.ops if op.op != "barrier"]
+        return (max(data_ops) + 1) if data_ops else 1
+
+    def ops_for(self, rank: int, kind: str) -> List[TraceOp]:
+        """One rank's ops of one kind, in trace order."""
+        return [op for op in self.ops if op.op == kind and op.rank == rank]
+
+    def bytes_for(self, rank: int, kind: str = "write") -> int:
+        """Total bytes one rank moves for *kind*."""
+        return sum(op.length for op in self.ops_for(rank, kind))
+
+    # -- text form -------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "IOTrace":
+        """Parse the text trace format (see module docstring)."""
+        ops: List[TraceOp] = []
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            try:
+                if len(parts) == 2 and parts[1] == "barrier":
+                    ops.append(TraceOp(rank=int(parts[0]), op="barrier"))
+                elif len(parts) == 4:
+                    ops.append(TraceOp(rank=int(parts[0]), op=parts[1],
+                                       offset=int(parts[2]), length=int(parts[3])))
+                else:
+                    raise ValueError("wrong column count")
+            except (ValueError, ConfigError) as exc:
+                raise ConfigError(f"trace line {lineno}: {raw!r}: {exc}") from None
+        if not ops:
+            raise ConfigError("empty trace")
+        return cls(ops)
+
+    @classmethod
+    def load(cls, path: str) -> "IOTrace":
+        """Parse a trace file."""
+        with open(path) as f:
+            return cls.parse(f.read())
+
+    def dump(self) -> str:
+        """The trace in its text format."""
+        lines = ["# rank op offset length"]
+        for op in self.ops:
+            if op.op == "barrier":
+                lines.append(f"{op.rank} barrier")
+            else:
+                lines.append(f"{op.rank} {op.op} {op.offset} {op.length}")
+        return "\n".join(lines) + "\n"
+
+    def save(self, path: str) -> None:
+        """Write the text form to *path*."""
+        with open(path, "w") as f:
+            f.write(self.dump())
+
+
+class TraceWorkload(Workload):
+    """Replay an :class:`IOTrace` through the workload framework.
+
+    Write/read plans follow the trace's per-rank op order; ``barrier``
+    ops split the plan into rounds (the framework's collective boundary).
+    Content verification is available when every rank's reads replay its
+    own writes (``read_matches_write`` stays True only then).
+    """
+
+    name = "trace"
+
+    def __init__(self, trace: IOTrace, name: str = "trace"):
+        super().__init__(trace.nprocs)
+        self.trace = trace
+        self.name = name
+        self.read_matches_write = self._reads_mirror_writes()
+
+    def _reads_mirror_writes(self) -> bool:
+        for rank in range(self.nprocs):
+            writes = [(op.offset, op.length) for op in self.trace.ops_for(rank, "write")]
+            reads = [(op.offset, op.length) for op in self.trace.ops_for(rank, "read")]
+            if reads and reads != writes:
+                return False
+        return True
+
+    def _rounds(self, rank: int, kind: str) -> Iterator[List[Extent]]:
+        """Extents between barriers form one round (one collective call);
+        independent I/O iterates a round's extents one op at a time, so
+        granularity is preserved either way."""
+        current: List[Extent] = []
+        for op in self.trace.ops:
+            if op.op == "barrier":
+                if current:
+                    yield current
+                    current = []
+                continue
+            if op.op == kind and op.rank == rank:
+                current.append((op.offset, op.length))
+        if current:
+            yield current
+
+    def write_rounds(self, rank: int) -> Iterator[List[Extent]]:
+        """The trace's write plan for *rank*."""
+        return self._rounds(rank, "write")
+
+    def read_rounds(self, rank: int) -> Iterator[List[Extent]]:
+        """The trace's read plan (or the restart convention)."""
+        reads = self.trace.ops_for(rank, "read")
+        if reads:
+            return self._rounds(rank, "read")
+        return self._rounds(rank, "write")  # restart convention
+
+
+def synthesize_strided_trace(nprocs: int, per_proc: int, record: int,
+                             *, with_readback: bool = True) -> IOTrace:
+    """Generate a canonical N-1 strided checkpoint trace (plus read-back)."""
+    if nprocs < 1 or per_proc < 1 or record < 1:
+        raise ConfigError("synthesize_strided_trace needs positive parameters")
+    ops: List[TraceOp] = []
+    for kind in (("write", "read") if with_readback else ("write",)):
+        for rank in range(nprocs):
+            written, i = 0, 0
+            while written < per_proc:
+                n = min(record, per_proc - written)
+                ops.append(TraceOp(rank=rank, op=kind,
+                                   offset=rank * record + i * nprocs * record,
+                                   length=n))
+                written += n
+                i += 1
+    return IOTrace(ops)

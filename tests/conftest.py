@@ -1,0 +1,15 @@
+"""Shared test fixtures: simulated worlds wired the way experiments use them."""
+
+import pytest
+
+from repro.harness.setup import World, build_world
+
+# Re-exported for test modules that import from here.
+make_world = build_world
+
+__all__ = ["World", "make_world", "world"]
+
+
+@pytest.fixture
+def world() -> World:
+    return build_world()

@@ -1,0 +1,82 @@
+"""Unit tests for the HDF5-ish / pnetCDF-ish layout generators."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.formats import HDF5Layout, NetCDFLayout
+
+
+class TestNetCDFLayout:
+    def test_extents_disjoint_and_complete(self):
+        lay = NetCDFLayout(n_vars=3, block_per_rank=100, nprocs=4, n_records=2)
+        spans = [lay.header_extent()]
+        for r in range(4):
+            spans.extend(lay.rank_extents(r))
+        spans.sort()
+        for (s1, e1len), (s2, _) in zip(
+            [(s, s + ln) for s, ln in spans], [(s, s + ln) for s, ln in spans][1:]
+        ):
+            assert e1len <= s2
+        total = sum(ln for _, ln in spans)
+        assert total == lay.total_bytes
+
+    def test_segmented_per_variable(self):
+        lay = NetCDFLayout(n_vars=2, block_per_rank=10, nprocs=3,
+                           header_bytes=100)
+        exts = list(lay.rank_extents(1))
+        # var 0 block: header + var0 + rank1*10 = 110; var 1 at 100+30+10=140.
+        assert exts == [(110, 10), (140, 10)]
+
+    def test_record_dimension_repeats(self):
+        lay = NetCDFLayout(n_vars=1, block_per_rank=10, nprocs=2,
+                           n_records=3, header_bytes=0)
+        exts = list(lay.rank_extents(0))
+        assert exts == [(0, 10), (20, 10), (40, 10)]
+
+    def test_bytes_per_rank(self):
+        lay = NetCDFLayout(n_vars=4, block_per_rank=25, nprocs=8, n_records=2)
+        assert lay.bytes_per_rank() == 4 * 2 * 25
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            NetCDFLayout(n_vars=0, block_per_rank=1, nprocs=1)
+        lay = NetCDFLayout(n_vars=1, block_per_rank=1, nprocs=2)
+        with pytest.raises(ConfigError):
+            list(lay.rank_extents(5))
+
+
+class TestHDF5Layout:
+    def test_chunks_disjoint_round_robin(self):
+        lay = HDF5Layout(chunk_bytes=100, chunks_per_rank=3, nprocs=4)
+        seen = set()
+        for r in range(4):
+            for off, ln in lay.rank_extents(r):
+                assert ln == 100
+                assert off >= lay.data_base
+                assert off not in seen
+                seen.add(off)
+        assert len(seen) == 12
+
+    def test_metadata_dribbles_in_md_region(self):
+        lay = HDF5Layout(chunk_bytes=1000, chunks_per_rank=4, nprocs=4)
+        for off, ln in lay.metadata_extents():
+            assert lay.superblock_bytes <= off < lay.data_base
+            assert ln == lay.md_block_bytes
+
+    def test_metadata_does_not_overlap_data(self):
+        lay = HDF5Layout(chunk_bytes=64, chunks_per_rank=2, nprocs=2)
+        md_end = max(off + ln for off, ln in lay.metadata_extents())
+        data_start = min(off for r in range(2) for off, _ in lay.rank_extents(r))
+        assert md_end <= data_start
+
+    def test_unaligned_metadata_blocks(self):
+        """The md dribbles are deliberately odd-sized (unaligned writes)."""
+        lay = HDF5Layout(chunk_bytes=1 << 20, chunks_per_rank=1, nprocs=1)
+        assert lay.md_block_bytes % 512 != 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            HDF5Layout(chunk_bytes=0, chunks_per_rank=1, nprocs=1)
+        with pytest.raises(ConfigError):
+            HDF5Layout(chunk_bytes=1, chunks_per_rank=1, nprocs=1,
+                       md_every_chunks=0)

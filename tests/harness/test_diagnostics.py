@@ -1,0 +1,67 @@
+"""Tests for the bottleneck-diagnostics reports."""
+
+from repro.harness.diagnostics import cache_report, resource_report
+from repro.harness.report import render_table
+from repro.units import KB, MB
+from repro.workloads import MPIIOTest, direct_stack, plfs_stack, run_workload
+from tests.conftest import make_world
+
+
+def run_some_io(world, stack_fn):
+    wl = MPIIOTest(8, size_per_proc=1 * MB, transfer=100 * KB)
+    run_workload(world, wl, stack_fn(world), cold_read=False)
+    return world
+
+
+class TestResourceReport:
+    def test_report_rows_present(self):
+        world = run_some_io(make_world(), plfs_stack)
+        table = resource_report(world)
+        names = table.column("resource")
+        assert "storage pipe" in names
+        assert "interconnect fabric" in names
+        assert any("MDS" in n for n in names)
+        assert "OSD pool (sum)" in names
+        assert "lock manager" in names
+        rendered = render_table(table)
+        assert "GB moved" in rendered
+
+    def test_utilizations_bounded(self):
+        world = run_some_io(make_world(), plfs_stack)
+        for row in resource_report(world).rows:
+            util = row[2]
+            assert 0.0 <= util <= 1.0 + 1e-9
+
+    def test_direct_n1_shows_lock_traffic_plfs_does_not(self):
+        wd = run_some_io(make_world(), direct_stack)
+        wp = run_some_io(make_world(), plfs_stack)
+
+        def revocations(world):
+            table = resource_report(world)
+            row = table.rows[table.column("resource").index("lock manager")]
+            return int(row[3].split()[0])
+
+        assert revocations(wd) > 0
+        assert revocations(wp) == 0  # decoupled logs never conflict
+
+    def test_federated_worlds_report_every_mds(self):
+        world = make_world(n_volumes=3, federation="container")
+        run_some_io(world, plfs_stack)
+        names = resource_report(world).column("resource")
+        assert sum("MDS" in n for n in names) == 3
+
+
+class TestCacheReport:
+    def test_warm_read_shows_hits(self):
+        world = run_some_io(make_world(), plfs_stack)  # warm re-read inside
+        table = cache_report(world)
+        metrics = dict(zip(table.column("metric"), table.column("value")))
+        assert metrics["block lookups"] > 0
+        assert metrics["hit rate"] > 0.3
+        assert metrics["resident blocks"] > 0
+
+    def test_empty_world_is_all_zero(self):
+        table = cache_report(make_world())
+        metrics = dict(zip(table.column("metric"), table.column("value")))
+        assert metrics["block lookups"] == 0
+        assert metrics["hit rate"] == 0.0

@@ -1,0 +1,68 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.harness.plots import ascii_chart, chart_table
+from repro.harness.report import Table
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        out = ascii_chart([1, 2, 3], [[1.0, 2.0, 3.0]], ["up"], title="t")
+        assert "t" in out
+        assert "a=up" in out
+        lines = out.splitlines()
+        assert any("a" in l for l in lines[1:-3])
+
+    def test_monotone_series_renders_monotone(self):
+        out = ascii_chart([0, 1, 2, 3], [[0.0, 1.0, 2.0, 3.0]], ["s"],
+                          width=8, height=4)
+        rows = [l.split("|", 1)[1] for l in out.splitlines() if "|" in l]
+        cols = [r.index("a") for r in rows if "a" in r]
+        # Top rows hold the largest y values, which for an increasing series
+        # sit at the largest x: columns shrink as we scan downward.
+        assert cols == sorted(cols, reverse=True)
+
+    def test_multiple_series_distinct_marks(self):
+        out = ascii_chart([1, 2], [[1.0, 2.0], [2.0, 1.0]], ["x", "y"])
+        assert "a=x" in out and "b=y" in out
+
+    def test_log_scale(self):
+        out = ascii_chart([1, 2, 3], [[1.0, 100.0, 10000.0]], ["s"], logy=True)
+        assert "[log y]" in out
+        assert "1e+04" in out or "10000" in out or "1e+4" in out
+
+    def test_log_scale_rejects_all_nonpositive(self):
+        assert "positive" in ascii_chart([1], [[0.0]], ["s"], logy=True)
+
+    def test_none_values_skipped(self):
+        out = ascii_chart([1, 2, 3], [[1.0, None, 3.0]], ["s"])
+        assert "a=s" in out
+
+    def test_empty(self):
+        assert ascii_chart([], [], []) == "(no data)"
+
+    def test_flat_series(self):
+        out = ascii_chart([1, 2], [[5.0, 5.0]], ["flat"])
+        assert "a=flat" in out
+
+
+class TestChartTable:
+    def make(self):
+        t = Table(id="x", title="demo", columns=["procs", "direct", "plfs", "note"])
+        t.add(16, 100.0, 200.0, "n/a")
+        t.add(32, 90.0, 250.0, "n/a")
+        return t
+
+    def test_charts_numeric_columns_only(self):
+        out = chart_table(self.make())
+        assert "a=direct" in out and "b=plfs" in out
+        assert "note" not in out.splitlines()[-1]
+
+    def test_non_numeric_x_rejected(self):
+        t = Table(id="x", title="t", columns=["name", "v"])
+        t.add("a", 1.0)
+        assert "not numeric" in chart_table(t)
+
+    def test_empty_table(self):
+        assert "(empty table)" in chart_table(Table(id="x", title="t", columns=["a"]))

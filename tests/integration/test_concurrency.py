@@ -1,0 +1,109 @@
+"""Cross-job concurrency: multiple jobs sharing one platform at once."""
+
+import pytest
+
+from repro.mpi import Communicator, run_job
+from repro.pfs.data import PatternData
+from repro.sim import PhaseClock
+from tests.conftest import make_world
+
+KB = 1000
+MB = 1000 * KB
+
+
+def spawn_job(world, nprocs, fn, base):
+    """Launch a job's rank processes WITHOUT running the engine."""
+    from repro.pfs.volume import Client
+
+    nodes = [world.cluster.node_for_rank(r, nprocs) for r in range(nprocs)]
+    shared = Communicator(world.env, world.cluster.interconnect, nodes)
+    procs = []
+    for r in range(nprocs):
+        ctx = type("Ctx", (), {})()
+        ctx.rank, ctx.nprocs = r, nprocs
+        ctx.comm = shared.view(r)
+        ctx.client = Client(node=nodes[r], client_id=base + r)
+        ctx.env = world.env
+        procs.append(world.env.process(fn(ctx)))
+    return procs
+
+
+class TestConcurrentJobs:
+    def test_two_n1_jobs_share_bandwidth(self):
+        """Two simultaneous checkpoint jobs each finish slower than solo."""
+        def make_writer(world, path):
+            def fn(ctx):
+                fh = yield from world.mount.open_write(ctx.client, path, ctx.comm)
+                # Enough data that the storage pipe, not metadata, dominates.
+                yield from fh.write(ctx.rank * 8 * MB,
+                                    PatternData(ctx.rank, 0, 8 * MB))
+                yield from world.mount.close_write(fh, ctx.comm)
+                return ctx.env.now
+
+            return fn
+
+        solo_world = make_world(n_nodes=8, cores=4, aggregation="parallel")
+        solo = run_job(solo_world.env, solo_world.cluster, 8,
+                       make_writer(solo_world, "/a")).duration
+
+        world = make_world(n_nodes=8, cores=4, aggregation="parallel")
+        pa = spawn_job(world, 8, make_writer(world, "/a"), 0)
+        pb = spawn_job(world, 8, make_writer(world, "/b"), 100)
+        world.env.run()
+        t_shared = max(p.value for p in pa + pb)
+        assert t_shared > solo * 1.4  # they contended for the same pipe
+        # Both files intact.
+        for path, base in (("/a", 0), ("/b", 100)):
+            layout = world.mount.layout(path)
+            assert layout.exists()
+
+    def test_reader_job_overlapping_writer_job_different_files(self):
+        """A restart of yesterday's checkpoint overlaps today's write."""
+        world = make_world(n_nodes=8, cores=4, aggregation="parallel")
+
+        def writer(path, seed):
+            def fn(ctx):
+                fh = yield from world.mount.open_write(ctx.client, path, ctx.comm)
+                yield from fh.write(ctx.rank * 256 * KB,
+                                    PatternData(seed + ctx.rank, 0, 256 * KB))
+                yield from world.mount.close_write(fh, ctx.comm)
+
+            return fn
+
+        run_job(world.env, world.cluster, 8, writer("/old", 100))
+        world.drop_caches()
+
+        def reader(ctx):
+            fh = yield from world.mount.open_read(ctx.client, "/old", ctx.comm)
+            view = yield from fh.read(ctx.rank * 256 * KB, 256 * KB)
+            yield from fh.close()
+            return view.content_equal(PatternData(100 + ctx.rank, 0, 256 * KB))
+
+        readers = spawn_job(world, 8, reader, 500)
+        writers = spawn_job(world, 8, writer("/new", 200), 600)
+        world.env.run()
+        assert all(p.value for p in readers)
+        assert all(p.triggered for p in writers)
+
+    def test_metadata_storm_during_data_job(self):
+        """An N-N create storm and a bulk write coexist without deadlock."""
+        world = make_world(n_nodes=8, cores=4)
+
+        def storm(ctx):
+            for i in range(5):
+                fh = yield from world.mount.open_write(
+                    ctx.client, f"/meta.{ctx.client.client_id}.{i}", None)
+                yield from world.mount.close_write(fh, None)
+            return True
+
+        def bulk(ctx):
+            fh = yield from world.volume.open(ctx.client, f"/bulk.{ctx.rank}",
+                                              "w", create=True)
+            yield from fh.write(0, PatternData(ctx.rank, 0, 2 * MB))
+            yield from fh.close()
+            return True
+
+        a = spawn_job(world, 8, storm, 0)
+        b = spawn_job(world, 8, bulk, 100)
+        world.env.run()
+        assert all(p.value for p in a + b)

@@ -1,0 +1,131 @@
+"""Unit tests for the metadata-server model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pfs.config import PfsConfig
+from repro.pfs.mds import MetadataServer
+from repro.sim import Engine
+
+
+def make(env, **kw):
+    cfg = PfsConfig(mds_ops_per_sec=1000.0, dir_ops_per_sec=100.0,
+                    mds_latency=1e-3, **kw)
+    return MetadataServer(env, cfg)
+
+
+class TestMds:
+    def test_single_op_cost(self):
+        env = Engine()
+        mds = make(env)
+
+        def proc(env):
+            yield from mds.op("open")  # 0.35 units at 1000/s + 1ms latency
+            return env.now
+
+        assert env.run_process(proc(env)) == pytest.approx(1e-3 + 0.35 / 1000)
+
+    def test_batched_ops_cost_linearly(self):
+        env = Engine()
+        mds = make(env)
+
+        def proc(env):
+            yield from mds.op("open", count=100)
+            return env.now
+
+        assert env.run_process(proc(env)) == pytest.approx(1e-3 + 35.0 / 1000)
+
+    def test_fractional_count_for_cached_opens(self):
+        env = Engine()
+        mds = make(env)
+
+        def proc(env):
+            yield from mds.op("open", count=0.1)
+            return env.now
+
+        assert env.run_process(proc(env)) == pytest.approx(1e-3 + 0.035 / 1000)
+
+    def test_unknown_op_rejected(self):
+        env = Engine()
+        mds = make(env)
+        with pytest.raises(ConfigError):
+            list(mds.op("frobnicate"))
+
+    def test_nonpositive_count_rejected(self):
+        env = Engine()
+        mds = make(env)
+        with pytest.raises(ConfigError):
+            list(mds.op("open", count=0))
+
+    def test_same_directory_creates_hit_the_dir_ceiling(self):
+        """Creates in ONE directory run at dir rate; spread creates run at
+        server rate — the §V single-directory bottleneck."""
+        def storm(same_dir):
+            env = Engine()
+            mds = make(env)
+
+            def proc(env, i):
+                dir_uid = 7 if same_dir else i
+                yield from mds.op("create", dir_uid=dir_uid)
+
+            for i in range(50):
+                env.process(proc(env, i))
+            env.run()
+            return env.now
+
+        t_same = storm(True)
+        t_spread = storm(False)
+        # 50 creates at dir 100 u/s ~ 0.5s; at server 1000 u/s ~ 0.05s.
+        assert t_same > 5 * t_spread
+
+    def test_non_mutating_ops_skip_dir_ceiling(self):
+        env = Engine()
+        mds = make(env)
+
+        def proc(env):
+            for _ in range(20):
+                yield from mds.op("stat", dir_uid=7)
+            return env.now
+
+        t = env.run_process(proc(env))
+        assert t < 20 * (1e-3 + 0.25 / 100)  # far below dir-rate pacing
+
+    def test_directory_size_degradation(self):
+        env = Engine()
+        mds = make(env, dir_degradation_entries=100)
+
+        def proc(env):
+            t0 = env.now
+            yield from mds.op("create", dir_uid=1, dir_entries=0)
+            small = env.now - t0
+            t0 = env.now
+            yield from mds.op("create", dir_uid=2, dir_entries=300)
+            big = env.now - t0
+            return small, big
+
+        small, big = env.run_process(proc(env))
+        assert big > 2.5 * small  # 1 + 300/100 = 4x demand
+
+    def test_degradation_disabled(self):
+        env = Engine()
+        mds = make(env, dir_degradation_entries=0)
+
+        def proc(env):
+            t0 = env.now
+            yield from mds.op("create", dir_uid=1, dir_entries=10_000)
+            return env.now - t0
+
+        t = env.run_process(proc(env))
+        assert t == pytest.approx(1e-3 + 1.0 / 100)
+
+    def test_op_counts_tracked(self):
+        env = Engine()
+        mds = make(env)
+
+        def proc(env):
+            yield from mds.op("open", count=3)
+            yield from mds.op("close")
+
+        env.run_process(proc(env))
+        assert mds.op_counts == {"open": 3, "close": 1}
+        assert mds.total_ops == 4

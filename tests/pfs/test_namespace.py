@@ -1,0 +1,180 @@
+"""Unit tests for the functional namespace and file data."""
+
+import pytest
+
+from repro.errors import (
+    DirectoryNotEmpty,
+    FileExists,
+    FileNotFound,
+    InvalidArgument,
+    IsADirectory,
+    NotADirectory,
+)
+from repro.pfs.data import LiteralData, PatternData
+from repro.pfs.namespace import FileData, Namespace, normalize, split_path
+
+
+class TestPaths:
+    def test_normalize(self):
+        assert normalize("/a/b/") == "/a/b"
+        assert normalize("a//b") == "/a/b"
+        assert normalize("/") == "/"
+        assert normalize("") == "/"
+        assert normalize("/./a/.") == "/a"
+
+    def test_dotdot_rejected(self):
+        with pytest.raises(InvalidArgument):
+            normalize("/a/../b")
+
+    def test_split(self):
+        assert split_path("/a/b/c") == ("/a/b", "c")
+        assert split_path("/top") == ("/", "top")
+        with pytest.raises(InvalidArgument):
+            split_path("/")
+
+
+class TestFileData:
+    def test_write_read_roundtrip(self):
+        fd = FileData()
+        fd.write(0, LiteralData(b"hello"))
+        assert fd.read(0, 5).to_bytes() == b"hello"
+        assert fd.size == 5
+
+    def test_overwrite_wins(self):
+        fd = FileData()
+        fd.write(0, LiteralData(b"aaaaaa"))
+        fd.write(2, LiteralData(b"BB"))
+        assert fd.read(0, 6).to_bytes() == b"aaBBaa"
+
+    def test_holes_read_as_zeros(self):
+        fd = FileData()
+        fd.write(4, LiteralData(b"x"))
+        assert fd.read(0, 5).to_bytes() == b"\x00\x00\x00\x00x"
+
+    def test_short_read_at_eof(self):
+        fd = FileData()
+        fd.write(0, LiteralData(b"abc"))
+        assert fd.read(1, 100).to_bytes() == b"bc"
+        assert fd.read(10, 5).length == 0
+
+    def test_append_returns_offset(self):
+        fd = FileData()
+        assert fd.append(LiteralData(b"ab")) == 0
+        assert fd.append(LiteralData(b"cd")) == 2
+        assert fd.read(0, 4).to_bytes() == b"abcd"
+
+    def test_truncate(self):
+        fd = FileData()
+        fd.write(0, LiteralData(b"abcd"))
+        fd.truncate()
+        assert fd.size == 0
+        assert fd.read(0, 4).length == 0
+
+    def test_pattern_data_stays_virtual(self):
+        fd = FileData()
+        spec = PatternData(7, 0, 1 << 30)  # 1 GiB, never materialized
+        fd.write(0, spec)
+        view = fd.read(1000, 64)
+        assert view.content_equal(PatternData(7, 1000, 64))
+
+    def test_negative_write_offset_rejected(self):
+        with pytest.raises(InvalidArgument):
+            FileData().write(-1, LiteralData(b"x"))
+
+
+class TestNamespace:
+    def test_mkdir_and_resolve(self):
+        ns = Namespace()
+        ns.mkdir("/a")
+        ns.mkdir("/a/b")
+        assert ns.resolve("/a/b").is_dir
+        assert ns.readdir("/a") == ["b"]
+
+    def test_mkdir_missing_parent(self):
+        ns = Namespace()
+        with pytest.raises(FileNotFound):
+            ns.mkdir("/a/b")
+
+    def test_mkdir_exists(self):
+        ns = Namespace()
+        ns.mkdir("/a")
+        with pytest.raises(FileExists):
+            ns.mkdir("/a")
+
+    def test_makedirs(self):
+        ns = Namespace()
+        ns.makedirs("/x/y/z")
+        assert ns.resolve("/x/y/z").is_dir
+        ns.makedirs("/x/y/z")  # idempotent
+
+    def test_create_and_unlink(self):
+        ns = Namespace()
+        ns.create("/f")
+        assert not ns.resolve("/f").is_dir
+        assert ns.n_files == 1
+        ns.unlink("/f")
+        assert ns.n_files == 0
+        assert not ns.exists("/f")
+
+    def test_create_exclusive(self):
+        ns = Namespace()
+        ns.create("/f", exclusive=True)
+        with pytest.raises(FileExists):
+            ns.create("/f", exclusive=True)
+
+    def test_create_truncate(self):
+        ns = Namespace()
+        node = ns.create("/f")
+        node.data.write(0, LiteralData(b"abc"))
+        ns.create("/f", truncate=True)
+        assert node.data.size == 0
+
+    def test_create_over_dir_rejected(self):
+        ns = Namespace()
+        ns.mkdir("/d")
+        with pytest.raises(IsADirectory):
+            ns.create("/d")
+        with pytest.raises(IsADirectory):
+            ns.unlink("/d")
+
+    def test_file_is_not_a_directory(self):
+        ns = Namespace()
+        ns.create("/f")
+        with pytest.raises(NotADirectory):
+            ns.resolve("/f/x")
+        with pytest.raises(NotADirectory):
+            ns.readdir("/f")
+
+    def test_rmdir(self):
+        ns = Namespace()
+        ns.mkdir("/d")
+        ns.mkdir("/d/e")
+        with pytest.raises(DirectoryNotEmpty):
+            ns.rmdir("/d")
+        ns.rmdir("/d/e")
+        ns.rmdir("/d")
+        assert not ns.exists("/d")
+
+    def test_rename(self):
+        ns = Namespace()
+        ns.mkdir("/a")
+        ns.mkdir("/b")
+        ns.create("/a/f")
+        ns.rename("/a/f", "/b/g")
+        assert ns.exists("/b/g")
+        assert not ns.exists("/a/f")
+        ns.create("/a/h")
+        with pytest.raises(FileExists):
+            ns.rename("/a/h", "/b/g")
+
+    def test_walk(self):
+        ns = Namespace()
+        ns.makedirs("/a/b")
+        ns.create("/a/f")
+        paths = [p for p, _ in ns.walk("/")]
+        assert paths == ["/", "/a", "/a/b", "/a/f"]
+
+    def test_uids_unique(self):
+        ns = Namespace()
+        uids = {ns.create(f"/f{i}").uid for i in range(50)}
+        assert len(uids) == 50

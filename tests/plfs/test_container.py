@@ -1,0 +1,137 @@
+"""Unit tests for container layout, placement, and lifecycle."""
+
+import pytest
+
+from repro.errors import FileExists, FileNotFound, PLFSError
+from repro.pfs.volume import Client
+from repro.plfs.config import PlfsConfig
+from repro.plfs.container import (
+    ACCESS_NAME,
+    ContainerLayout,
+    data_log_name,
+    index_log_name,
+    meta_dropping_name,
+    openhost_name,
+    parse_meta_dropping,
+    subdir_name,
+)
+from tests.conftest import make_world
+
+
+def layout_for(world, path, **cfg_kw):
+    cfg = PlfsConfig(**cfg_kw) if cfg_kw else world.mount.cfg
+    return ContainerLayout(path, world.volumes, cfg)
+
+
+class TestNames:
+    def test_dropping_names(self):
+        assert data_log_name(3, 17) == "dropping.data.3.17"
+        assert index_log_name(3, 17) == "dropping.index.3.17"
+        assert openhost_name(5) == "host.5"
+        assert subdir_name(9) == "subdirs.9"
+
+    def test_meta_dropping_roundtrip(self):
+        name = meta_dropping_name(1_000_000, 42, 3, 7)
+        assert parse_meta_dropping(name) == (1_000_000, 42, 3, 7)
+        with pytest.raises(PLFSError):
+            parse_meta_dropping("garbage")
+
+
+class TestPlacement:
+    def test_no_federation_everything_on_volume_zero(self, world):
+        layout = layout_for(world, "/a")
+        assert layout.home_volume is world.volumes[0]
+        assert layout.subdir_volume(5) is world.volumes[0]
+
+    def test_container_federation_spreads_homes(self):
+        w = make_world(n_volumes=4, federation="container")
+        homes = {ContainerLayout(f"/f{i}", w.volumes, w.mount.cfg).home_volume.name
+                 for i in range(40)}
+        assert len(homes) > 1
+
+    def test_container_federation_is_stable(self):
+        w = make_world(n_volumes=4, federation="container")
+        a = ContainerLayout("/x/y", w.volumes, w.mount.cfg)
+        b = ContainerLayout("/x/y", w.volumes, w.mount.cfg)
+        assert a.home_volume is b.home_volume
+
+    def test_subdir_federation_rotates_volumes(self):
+        w = make_world(n_volumes=3, federation="subdir")
+        layout = ContainerLayout("/f", w.volumes, w.mount.cfg)
+        vols = {layout.subdir_volume(s).name for s in range(layout.cfg.n_subdirs)}
+        assert len(vols) == 3
+        # Skeleton and subdirs may differ; placement is deterministic.
+        assert layout.subdir_volume(0) is ContainerLayout(
+            "/f", w.volumes, w.mount.cfg).subdir_volume(0)
+
+    def test_writers_hash_to_subdirs_by_node(self, world):
+        layout = layout_for(world, "/f")
+        assert layout.subdir_for_writer(0) == 0
+        assert layout.subdir_for_writer(33) == 33 % layout.cfg.n_subdirs
+
+    def test_paths(self, world):
+        layout = layout_for(world, "/dir/file")
+        assert layout.access_path == f"/dir/file/{ACCESS_NAME}"
+        assert layout.meta_path == "/dir/file/meta"
+        assert layout.subdir_path(2) == "/dir/file/subdirs.2"
+        assert layout.data_log_path(1, 9) == "/dir/file/subdirs.1/dropping.data.1.9"
+
+    def test_empty_volume_list_rejected(self):
+        with pytest.raises(PLFSError):
+            ContainerLayout("/f", [], PlfsConfig())
+
+
+class TestLifecycle:
+    def run(self, world, gen):
+        return world.env.run_process(gen)
+
+    def client(self, world):
+        return Client(node=world.cluster.nodes[0], client_id=0)
+
+    def test_create_skeleton(self, world):
+        c = self.client(world)
+        self.run(world, layout_for(world, "/f").create_skeleton(c))
+        layout = layout_for(world, "/f")
+        assert layout.exists()
+        vol = layout.home_volume
+        assert vol.ns.exists("/f/meta")
+        assert vol.ns.exists("/f/openhosts")
+        assert vol.ns.exists(layout.access_path)
+
+    def test_create_twice_raises(self, world):
+        c = self.client(world)
+        self.run(world, layout_for(world, "/f").create_skeleton(c))
+        with pytest.raises(FileExists):
+            self.run(world, layout_for(world, "/f").create_skeleton(c))
+
+    def test_ensure_skeleton_idempotent(self, world):
+        c = self.client(world)
+        self.run(world, layout_for(world, "/f").ensure_skeleton(c))
+        self.run(world, layout_for(world, "/f").ensure_skeleton(c))
+        assert layout_for(world, "/f").exists()
+
+    def test_plain_dir_is_not_a_container(self, world):
+        c = self.client(world)
+        self.run(world, world.volume.makedirs(c, "/plain"))
+        assert not layout_for(world, "/plain").exists()
+
+    def test_ensure_subdir_lazy(self, world):
+        c = self.client(world)
+        layout = layout_for(world, "/f")
+        self.run(world, layout.create_skeleton(c))
+        assert not layout.home_volume.ns.exists(layout.subdir_path(3))
+        self.run(world, layout.ensure_subdir(c, 3))
+        assert layout.home_volume.ns.exists(layout.subdir_path(3))
+
+    def test_destroy_missing_raises(self, world):
+        c = self.client(world)
+        with pytest.raises(FileNotFound):
+            self.run(world, layout_for(world, "/nope").destroy(c))
+
+    def test_destroy_removes_all(self, world):
+        c = self.client(world)
+        layout = layout_for(world, "/f")
+        self.run(world, layout.create_skeleton(c))
+        self.run(world, layout.ensure_subdir(c, 1))
+        self.run(world, layout.destroy(c))
+        assert not layout.home_volume.ns.exists("/f")

@@ -1,0 +1,124 @@
+"""Unit tests for PLFS index records, serialization, and merging."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PLFSError
+from repro.pfs.data import DataView, LiteralData
+from repro.plfs.index import RECORD_DTYPE, GlobalIndex, WriterIndex
+
+
+class TestWriterIndex:
+    def test_record_and_sizes(self):
+        w = WriterIndex(writer_id=3, node_id=1)
+        w.record(0, 100, physical=0, stamp=1.0)
+        w.record(500, 100, physical=100, stamp=2.0)
+        assert len(w) == 2
+        assert w.nbytes == 96
+        assert w.journal.size == 600
+
+    def test_serialize_parse_roundtrip(self):
+        w = WriterIndex(writer_id=7, node_id=2)
+        for i in range(10):
+            w.record(i * 1000, 500, physical=i * 500, stamp=float(i))
+        blob = w.serialize()
+        assert blob.length == 10 * RECORD_DTYPE.itemsize
+        gi = WriterIndex.parse(DataView.of(blob), writer_id=7, node_id=2)
+        assert len(gi) == 10
+        assert gi.writers == {7: 2}
+        segs = list(gi.flatten().segments())
+        assert segs[0] == (0, 500, 7, 0)
+        assert segs[-1] == (9000, 9500, 7, 4500)
+
+    def test_parse_rejects_misaligned(self):
+        with pytest.raises(PLFSError):
+            WriterIndex.parse(DataView.of(LiteralData(b"x" * 47)), 0, 0)
+
+    def test_empty_serialize(self):
+        w = WriterIndex(writer_id=1, node_id=0)
+        gi = WriterIndex.parse(DataView.of(w.serialize()), 1, 0)
+        assert len(gi) == 0
+
+
+class TestGlobalIndex:
+    def build(self):
+        gi = GlobalIndex()
+        w1 = WriterIndex(writer_id=1, node_id=0)
+        w1.record(0, 100, physical=0, stamp=1.0)
+        w2 = WriterIndex(writer_id=2, node_id=1)
+        w2.record(100, 100, physical=0, stamp=1.0)
+        gi.merge_writer(w1)
+        gi.merge_writer(w2)
+        return gi
+
+    def test_merge_writers(self):
+        gi = self.build()
+        assert gi.logical_size == 200
+        assert gi.writers == {1: 0, 2: 1}
+        assert list(gi.flatten().segments()) == [(0, 100, 1, 0), (100, 200, 2, 0)]
+
+    def test_overwrite_resolution_by_stamp(self):
+        gi = GlobalIndex()
+        early = WriterIndex(writer_id=1, node_id=0)
+        early.record(0, 100, physical=0, stamp=1.0)
+        late = WriterIndex(writer_id=2, node_id=0)
+        late.record(50, 100, physical=0, stamp=2.0)
+        gi.merge_writer(early)
+        gi.merge_writer(late)
+        assert list(gi.flatten().segments()) == [(0, 50, 1, 0), (50, 150, 2, 0)]
+
+    def test_tie_broken_by_writer_id(self):
+        gi = GlobalIndex()
+        for wid in (5, 3):
+            w = WriterIndex(writer_id=wid, node_id=0)
+            w.record(0, 10, physical=0, stamp=1.0)
+            gi.merge_writer(w)
+        assert list(gi.flatten().segments()) == [(0, 10, 5, 0)]
+
+    def test_serialize_deserialize_roundtrip(self):
+        gi = self.build()
+        gi2 = GlobalIndex.deserialize(DataView.of(gi.serialize()))
+        assert gi2.writers == gi.writers
+        assert list(gi2.flatten().segments()) == list(gi.flatten().segments())
+
+    def test_deserialize_rejects_garbage(self):
+        with pytest.raises(PLFSError):
+            GlobalIndex.deserialize(DataView.of(LiteralData(b"short")))
+        good = self.build().serialize()
+        bad = LiteralData(good.materialize()[:-8])
+        with pytest.raises(PLFSError):
+            GlobalIndex.deserialize(DataView.of(bad))
+
+    def test_merged_classmethod(self):
+        parts = []
+        for wid in range(4):
+            w = WriterIndex(writer_id=wid, node_id=wid % 2)
+            w.record(wid * 10, 10, physical=0, stamp=1.0)
+            g = GlobalIndex()
+            g.merge_writer(w)
+            parts.append(g)
+        gi = GlobalIndex.merged(parts)
+        assert len(gi) == 4
+        assert gi.logical_size == 40
+        assert set(gi.writers) == {0, 1, 2, 3}
+
+    def test_nbytes_counts_writer_table(self):
+        gi = self.build()
+        assert gi.nbytes == 2 * 48 + 2 * 16
+
+    def test_large_roundtrip(self):
+        gi = GlobalIndex()
+        rng = np.random.default_rng(0)
+        for wid in range(16):
+            w = WriterIndex(writer_id=wid, node_id=wid % 4)
+            off = int(rng.integers(0, 1 << 30))
+            for i in range(100):
+                w.record(off + i * 4096 * 16 + wid * 4096, 4096,
+                         physical=i * 4096, stamp=float(i))
+            gi.merge_writer(w)
+        blob = gi.serialize()
+        gi2 = GlobalIndex.deserialize(DataView.of(blob))
+        assert len(gi2) == 1600
+        f1, f2 = gi.flatten(), gi2.flatten()
+        assert np.array_equal(f1.starts, f2.starts)
+        assert np.array_equal(f1.srcs, f2.srcs)

@@ -1,0 +1,95 @@
+"""Property-based tests for the MPI collectives under arbitrary shapes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, ClusterSpec, NodeSpec
+from repro.mpi import run_job
+from repro.sim import Engine
+
+
+def run_ranks(nprocs, fn):
+    env = Engine()
+    cluster = Cluster(env, ClusterSpec(name="t", n_nodes=4, node=NodeSpec(cores=4)))
+    return run_job(env, cluster, nprocs, fn)
+
+
+sizes = st.integers(min_value=1, max_value=24)
+
+
+@given(sizes, st.data())
+@settings(max_examples=30, deadline=None)
+def test_gather_any_root(nprocs, data):
+    root = data.draw(st.integers(min_value=0, max_value=nprocs - 1))
+
+    def fn(ctx):
+        out = yield from ctx.comm.gather(("v", ctx.rank), nbytes=16, root=root)
+        return out
+
+    res = run_ranks(nprocs, fn)
+    assert res.results[root] == [("v", r) for r in range(nprocs)]
+    assert all(res.results[r] is None for r in range(nprocs) if r != root)
+
+
+@given(sizes, st.data())
+@settings(max_examples=30, deadline=None)
+def test_bcast_any_root_delivers_everywhere(nprocs, data):
+    root = data.draw(st.integers(min_value=0, max_value=nprocs - 1))
+    payload = data.draw(st.integers())
+
+    def fn(ctx):
+        val = payload if ctx.rank == root else None
+        got = yield from ctx.comm.bcast(val, nbytes=8, root=root)
+        return got
+
+    res = run_ranks(nprocs, fn)
+    assert res.results == [payload] * nprocs
+
+
+@given(sizes)
+@settings(max_examples=25, deadline=None)
+def test_allreduce_sum_is_exact(nprocs):
+    def fn(ctx):
+        got = yield from ctx.comm.allreduce(ctx.rank + 1, op=lambda a, b: a + b,
+                                            nbytes=8)
+        return got
+
+    res = run_ranks(nprocs, fn)
+    assert res.results == [nprocs * (nprocs + 1) // 2] * nprocs
+
+
+@given(sizes, st.data())
+@settings(max_examples=25, deadline=None)
+def test_split_partitions_exactly(nprocs, data):
+    ncolors = data.draw(st.integers(min_value=1, max_value=nprocs))
+    colors = data.draw(st.lists(st.integers(min_value=0, max_value=ncolors - 1),
+                                min_size=nprocs, max_size=nprocs))
+
+    def fn(ctx):
+        sub = yield from ctx.comm.split(colors[ctx.rank])
+        members = yield from sub.allgather(ctx.rank, nbytes=8)
+        return (sub.rank, sub.size, members)
+
+    res = run_ranks(nprocs, fn)
+    for r, (sub_rank, sub_size, members) in enumerate(res.results):
+        expect = [x for x in range(nprocs) if colors[x] == colors[r]]
+        assert members == expect
+        assert sub_size == len(expect)
+        assert expect[sub_rank] == r
+
+
+@given(sizes)
+@settings(max_examples=20, deadline=None)
+def test_barrier_is_a_true_barrier(nprocs):
+    """No rank exits the barrier before the last rank enters it."""
+    entered = []
+
+    def fn(ctx):
+        yield ctx.env.timeout(float(ctx.rank))
+        entered.append(ctx.env.now)
+        yield from ctx.comm.barrier()
+        return ctx.env.now
+
+    res = run_ranks(nprocs, fn)
+    last_entry = max(entered)
+    assert all(exit_t >= last_entry for exit_t in res.results)

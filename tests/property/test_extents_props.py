@@ -1,0 +1,145 @@
+"""Property-based tests (hypothesis) for extent resolution.
+
+The extent journal is the correctness heart of both the simulated PFS and
+the PLFS index; these properties pin its semantics against a naive
+per-byte reference model under arbitrary record streams.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pfs.extents import HOLE, ExtentJournal
+
+MAX_POS = 2000
+
+records = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=MAX_POS - 1),   # start
+        st.integers(min_value=1, max_value=300),           # length
+        st.integers(min_value=0, max_value=9),             # src
+        st.integers(min_value=0, max_value=10_000),        # src_off
+        st.floats(min_value=0, max_value=100, allow_nan=False),  # stamp
+        st.integers(min_value=0, max_value=7),             # minor
+    ),
+    max_size=40,
+)
+
+
+def reference_model(recs):
+    """Per-byte last-writer-wins resolution: (owner index or -1) per byte."""
+    size = max((s + ln for s, ln, *_ in recs), default=0)
+    owner = np.full(size, -1, dtype=np.int64)
+    # Stable sort by (stamp, minor, arrival): later wins.
+    order = sorted(range(len(recs)), key=lambda i: (recs[i][4], recs[i][5], 0))
+    for i in order:
+        s, ln, *_ = recs[i]
+        owner[s:s + ln] = i
+    return owner
+
+
+def build(recs):
+    j = ExtentJournal()
+    for s, ln, src, soff, stamp, minor in recs:
+        j.append(s, ln, src, soff, stamp=stamp, minor=minor)
+    return j
+
+
+@st.composite
+def distinct_priority_records(draw):
+    """Records whose (stamp, minor) pairs are unique — resolution is total."""
+    recs = draw(records)
+    out = []
+    for i, (s, ln, src, soff, _stamp, _minor) in enumerate(recs):
+        out.append((s, ln, src, soff, float(i % 11), i))
+    return out
+
+
+@given(distinct_priority_records())
+@settings(max_examples=200, deadline=None)
+def test_flatten_covers_exactly_the_written_bytes(recs):
+    j = build(recs)
+    ref = reference_model(recs)
+    covered = np.zeros(len(ref), dtype=bool)
+    for s, e, _src, _off in j.flatten().segments():
+        assert not covered[s:e].any(), "segments overlap"
+        covered[s:e] = True
+    assert np.array_equal(covered, ref != -1)
+
+
+@given(distinct_priority_records())
+@settings(max_examples=100, deadline=None)
+def test_segment_sources_match_reference(recs):
+    j = build(recs)
+    ref = reference_model(recs)
+    for s, e, src, src_off in j.flatten().segments():
+        winners = set(ref[s:e].tolist())
+        assert len(winners) == 1, "segment spans multiple reference winners"
+        w = winners.pop()
+        rs, rl, rsrc, rsoff, *_ = recs[w]
+        assert rsrc == src
+        assert src_off == rsoff + (s - rs)
+
+
+@given(distinct_priority_records(),
+       st.integers(min_value=0, max_value=MAX_POS),
+       st.integers(min_value=0, max_value=500))
+@settings(max_examples=150, deadline=None)
+def test_query_tiles_exactly(recs, offset, length):
+    j = build(recs)
+    segs = j.flatten().query(offset, length)
+    pos = offset
+    for s, e, src, _ in segs:
+        assert s == pos, "gap or overlap in query tiling"
+        assert e > s
+        pos = e
+    assert pos == offset + length or (length == 0 and not segs)
+
+
+@given(distinct_priority_records())
+@settings(max_examples=100, deadline=None)
+def test_flatten_idempotent_and_cached(recs):
+    j = build(recs)
+    f1 = j.flatten()
+    f2 = j.flatten()
+    assert f1 is f2  # cached
+    j2 = build(recs)
+    assert list(j2.flatten().segments()) == list(f1.segments())
+
+
+@given(distinct_priority_records())
+@settings(max_examples=100, deadline=None)
+def test_size_equals_max_extent_end(recs):
+    j = build(recs)
+    expect = max((s + ln for s, ln, *_ in recs), default=0)
+    assert j.size == expect
+    flat = j.flatten()
+    if len(flat):
+        assert int(flat.ends.max()) == expect
+
+
+@given(distinct_priority_records(), st.integers(min_value=1, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_extend_equivalent_to_interleaved_append(recs, split):
+    """Merging k sub-journals == appending everything to one journal."""
+    parts = [ExtentJournal() for _ in range(split)]
+    whole = ExtentJournal()
+    for i, (s, ln, src, soff, stamp, minor) in enumerate(recs):
+        parts[i % split].append(s, ln, src, soff, stamp=stamp, minor=minor)
+        whole.append(s, ln, src, soff, stamp=stamp, minor=minor)
+    merged = ExtentJournal()
+    for p in parts:
+        merged.extend(p)
+    assert list(merged.flatten().segments()) == list(whole.flatten().segments())
+
+
+@given(distinct_priority_records())
+@settings(max_examples=60, deadline=None)
+def test_extend_arrays_equivalent_to_append(recs):
+    j1 = build(recs)
+    j2 = ExtentJournal()
+    if recs:
+        cols = list(zip(*recs))
+        j2.extend_arrays(np.array(cols[0]), np.array(cols[1]), np.array(cols[2]),
+                         np.array(cols[3]), np.array(cols[4]), np.array(cols[5]))
+    assert list(j2.flatten().segments()) == list(j1.flatten().segments())

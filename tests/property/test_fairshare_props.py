@@ -1,0 +1,126 @@
+"""Property-based tests for the GPS fair-share server's invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Engine, FairShareServer
+
+jobs_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),   # arrival
+        st.floats(min_value=0.001, max_value=50.0, allow_nan=False),  # demand
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def run_jobs(jobs, capacity=10.0):
+    env = Engine()
+    srv = FairShareServer(env, capacity=capacity)
+    finishes = {}
+
+    def proc(env, i, arrival, demand):
+        yield env.timeout(arrival)
+        yield srv.serve(demand)
+        finishes[i] = env.now
+
+    for i, (arrival, demand) in enumerate(jobs):
+        env.process(proc(env, i, arrival, demand))
+    env.run()
+    return finishes
+
+
+@given(jobs_strategy)
+@settings(max_examples=150, deadline=None)
+def test_every_job_completes(jobs):
+    finishes = run_jobs(jobs)
+    assert len(finishes) == len(jobs)
+
+
+@given(jobs_strategy)
+@settings(max_examples=150, deadline=None)
+def test_no_job_beats_its_dedicated_time(jobs):
+    """A job can never finish faster than demand/capacity after arrival."""
+    capacity = 10.0
+    finishes = run_jobs(jobs, capacity)
+    for i, (arrival, demand) in enumerate(jobs):
+        assert finishes[i] >= arrival + demand / capacity - 1e-6
+
+
+@given(jobs_strategy)
+@settings(max_examples=150, deadline=None)
+def test_work_conservation_upper_bound(jobs):
+    """The last completion is no later than serial execution of everything
+    starting from the last arrival-constrained point (loose but real)."""
+    capacity = 10.0
+    finishes = run_jobs(jobs, capacity)
+    worst = max(a for a, _ in jobs) + sum(d for _, d in jobs) / capacity
+    assert max(finishes.values()) <= worst + 1e-6
+
+
+@given(jobs_strategy)
+@settings(max_examples=100, deadline=None)
+def test_equal_arrivals_finish_in_demand_order(jobs):
+    """With simultaneous arrivals, smaller demands finish no later."""
+    sim = [(0.0, d) for _, d in jobs]
+    finishes = run_jobs(sim)
+    order = sorted(range(len(sim)), key=lambda i: sim[i][1])
+    for a, b in zip(order, order[1:]):
+        assert finishes[a] <= finishes[b] + 1e-6
+
+
+@given(jobs_strategy, st.floats(min_value=0.5, max_value=100.0, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_capacity_scales_time(jobs, factor):
+    """Doubling capacity halves every completion (time-rescaling law).
+
+    Only exact when all arrivals are zero (otherwise arrival constraints
+    break the scaling), so pin arrivals.
+    """
+    sim = [(0.0, d) for _, d in jobs]
+    base = run_jobs(sim, capacity=10.0)
+    fast = run_jobs(sim, capacity=10.0 * factor)
+    for i in base:
+        assert fast[i] == pytest.approx(base[i] / factor, rel=1e-6)
+
+
+@given(jobs_strategy)
+@settings(max_examples=100, deadline=None)
+def test_total_served_accounting(jobs):
+    env = Engine()
+    srv = FairShareServer(env, capacity=7.0)
+
+    def proc(env, arrival, demand):
+        yield env.timeout(arrival)
+        yield srv.serve(demand)
+
+    for arrival, demand in jobs:
+        env.process(proc(env, arrival, demand))
+    env.run()
+    assert srv.total_served == pytest.approx(sum(d for _, d in jobs))
+    assert srv.active == 0
+
+
+@given(jobs_strategy)
+@settings(max_examples=80, deadline=None)
+def test_work_delivered_is_monotone_and_bounded(jobs):
+    """Delivered work never decreases and never exceeds accepted work."""
+    env = Engine()
+    srv = FairShareServer(env, capacity=10.0)
+    observations = []
+
+    def proc(env, arrival, demand):
+        yield env.timeout(arrival)
+        observations.append(srv.work_delivered())
+        yield srv.serve(demand)
+        observations.append(srv.work_delivered())
+
+    for arrival, demand in jobs:
+        env.process(proc(env, arrival, demand))
+    env.run()
+    for a, b in zip(observations, observations[1:]):
+        assert b >= a - 1e-6
+    assert observations[-1] <= srv.total_served + 1e-6
+    assert srv.work_delivered() == pytest.approx(srv.total_served)

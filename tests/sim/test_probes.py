@@ -1,0 +1,114 @@
+"""Tests for daemon events and bandwidth probes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine, FairShareServer
+from repro.sim.probes import BandwidthProbe, summarize_probe
+
+
+class TestDaemonEvents:
+    def test_daemon_timeout_does_not_keep_run_alive(self):
+        env = Engine()
+        env.timeout(100.0, daemon=True)
+
+        def proc(env):
+            yield env.timeout(1.0)
+            return env.now
+
+        assert env.run_process(proc(env)) == 1.0
+        assert env.now == 1.0  # did not run on to t=100
+
+    def test_daemon_events_fire_when_real_work_passes_them(self):
+        env = Engine()
+        fired = []
+        t = env.timeout(5.0, daemon=True)
+        t._add_callback(lambda ev: fired.append(env.now))
+
+        def proc(env):
+            yield env.timeout(10.0)
+
+        env.run_process(proc(env))
+        assert fired == [5.0]
+
+    def test_pure_daemon_engine_stops_immediately(self):
+        env = Engine()
+        env.timeout(1.0, daemon=True)
+        env.run()
+        assert env.now == 0.0
+
+
+class TestBandwidthProbe:
+    def test_probe_samples_service_rate(self):
+        env = Engine()
+        srv = FairShareServer(env, capacity=100.0)
+        probe = BandwidthProbe(env, srv, period=1.0)
+
+        def proc(env):
+            yield env.timeout(2.0)
+            yield srv.serve(300.0)  # 3s at full rate: t=2..5
+            yield env.timeout(3.0)  # idle tail so late samples exist
+
+        env.run_process(proc(env))
+        series = dict(probe.series())
+        assert series[1.0] == 0.0                      # idle before the burst
+        assert series[4.0] == pytest.approx(100.0)     # mid-burst at capacity
+        assert series[7.0] == 0.0                      # idle after
+
+    def test_probe_does_not_extend_the_run(self):
+        env = Engine()
+        srv = FairShareServer(env, capacity=10.0)
+        BandwidthProbe(env, srv, period=0.5)
+
+        def proc(env):
+            yield srv.serve(20.0)
+
+        env.run_process(proc(env))
+        assert env.now == pytest.approx(2.0)
+
+    def test_probe_survives_across_jobs(self):
+        env = Engine()
+        srv = FairShareServer(env, capacity=10.0)
+        probe = BandwidthProbe(env, srv, period=1.0)
+
+        def job(env):
+            yield srv.serve(20.0)
+
+        env.run_process(job(env))
+        first = len(probe.series())
+        env.run_process(job(env))
+        assert len(probe.series()) > first
+
+    def test_summary(self):
+        env = Engine()
+        srv = FairShareServer(env, capacity=100.0)
+        probe = BandwidthProbe(env, srv, period=1.0)
+
+        def proc(env):
+            yield srv.serve(200.0)
+            yield env.timeout(2.0)
+
+        env.run_process(proc(env))
+        peak, mean, duty = summarize_probe(probe, capacity=100.0)
+        assert peak == pytest.approx(100.0)
+        assert 0 < mean < 100.0
+        assert 0 < duty < 1.0
+
+    def test_bad_period_rejected(self):
+        env = Engine()
+        srv = FairShareServer(env, capacity=1.0)
+        with pytest.raises(SimulationError):
+            BandwidthProbe(env, srv, period=0)
+
+    def test_stop(self):
+        env = Engine()
+        srv = FairShareServer(env, capacity=10.0)
+        probe = BandwidthProbe(env, srv, period=1.0)
+        probe.stop()
+
+        def proc(env):
+            yield srv.serve(100.0)
+
+        env.run_process(proc(env))
+        # Stopped after at most one further tick.
+        assert len(probe.series()) <= 1

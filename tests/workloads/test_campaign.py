@@ -1,0 +1,83 @@
+"""Tests for the failure-injected checkpoint/restart campaign."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.units import KB, MB
+from repro.workloads import direct_stack, plfs_stack
+from repro.workloads.campaign import Campaign, CampaignResult, daly_interval
+from tests.conftest import make_world
+
+
+class TestDalyInterval:
+    def test_reduces_to_young_for_small_cost(self):
+        c, m = 1.0, 100_000.0
+        young = math.sqrt(2 * c * m)
+        assert daly_interval(c, m) == pytest.approx(young, rel=0.02)
+
+    def test_monotone_in_cost(self):
+        m = 3600.0
+        assert daly_interval(1.0, m) < daly_interval(10.0, m) < daly_interval(100.0, m)
+
+    def test_clamped_for_huge_cost(self):
+        assert daly_interval(10_000.0, 100.0) == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            daly_interval(0, 100)
+        with pytest.raises(ConfigError):
+            daly_interval(1, -5)
+
+
+def make_campaign(stack_fn, *, mtbf, interval, work=200.0, seed=7):
+    world = make_world(n_nodes=8, cores=4, aggregation="parallel")
+    stack = stack_fn(world)
+    return Campaign(world, stack, nprocs=8, per_proc_bytes=1 * MB,
+                    record_bytes=100 * KB, work_target=work,
+                    interval=interval, mtbf=mtbf, seed=seed)
+
+
+class TestCampaign:
+    def test_failure_free_campaign(self):
+        c = make_campaign(plfs_stack, mtbf=1e9, interval=50.0)
+        res = c.run()
+        assert res.n_failures == 0
+        assert res.n_checkpoints == 3  # 200s work / 50s interval, last skipped
+        assert res.lost_work == 0
+        assert res.wall_time == pytest.approx(200.0 + res.checkpoint_time)
+        assert 0 < res.efficiency < 1
+
+    def test_failures_cost_work_and_restarts(self):
+        c = make_campaign(plfs_stack, mtbf=80.0, interval=20.0, work=300.0)
+        res = c.run()
+        assert res.n_failures > 0
+        assert res.restart_time > 0
+        assert res.lost_work > 0
+        assert res.wall_time > 300.0
+        assert res.efficiency < 1.0
+
+    def test_deterministic_given_seed(self):
+        r1 = make_campaign(plfs_stack, mtbf=100.0, interval=25.0, seed=3).run()
+        r2 = make_campaign(plfs_stack, mtbf=100.0, interval=25.0, seed=3).run()
+        assert r1.n_failures == r2.n_failures
+        assert r1.wall_time == pytest.approx(r2.wall_time)
+
+    def test_faster_checkpoints_raise_efficiency(self):
+        """The paper's argument, quantified: under the same failure stream,
+        the stack with cheaper checkpoints wastes less wall time."""
+        kw = dict(mtbf=150.0, interval=25.0, work=250.0, seed=11)
+        plfs = make_campaign(plfs_stack, **kw).run()
+        direct = make_campaign(direct_stack, **kw).run()
+        assert plfs.checkpoint_time < direct.checkpoint_time
+        assert plfs.efficiency > direct.efficiency
+
+    def test_validation(self):
+        world = make_world()
+        with pytest.raises(ConfigError):
+            Campaign(world, plfs_stack(world), nprocs=0, per_proc_bytes=1,
+                     record_bytes=1, work_target=1, interval=1, mtbf=1)
+        with pytest.raises(ConfigError):
+            Campaign(world, plfs_stack(world), nprocs=1, per_proc_bytes=1,
+                     record_bytes=1, work_target=0, interval=1, mtbf=1)

@@ -1,0 +1,147 @@
+"""Tests for trace-driven workloads."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.units import KB
+from repro.workloads import direct_stack, plfs_stack, run_workload
+from repro.workloads.trace import (
+    IOTrace,
+    TraceOp,
+    TraceWorkload,
+    synthesize_strided_trace,
+)
+from tests.conftest import make_world
+
+SAMPLE = """
+# a two-rank checkpoint
+0 write 0     1000
+1 write 1000  1000
+0 write 2000  1000
+0 barrier
+0 read 0     1000
+1 read 1000  1000
+0 read 2000  1000
+"""
+
+
+class TestTraceParsing:
+    def test_parse_and_shape(self):
+        t = IOTrace.parse(SAMPLE)
+        assert t.nprocs == 2
+        assert len(t.ops_for(0, "write")) == 2
+        assert t.bytes_for(0) == 2000
+        assert t.bytes_for(1) == 1000
+
+    def test_dump_parse_roundtrip(self):
+        t = IOTrace.parse(SAMPLE)
+        t2 = IOTrace.parse(t.dump())
+        assert t2.ops == t.ops
+
+    def test_save_load_roundtrip(self, tmp_path):
+        t = IOTrace.parse(SAMPLE)
+        path = tmp_path / "trace.txt"
+        t.save(str(path))
+        assert IOTrace.load(str(path)).ops == t.ops
+
+    def test_bad_lines_rejected(self):
+        with pytest.raises(ConfigError, match="line 1"):
+            IOTrace.parse("0 write 10")
+        with pytest.raises(ConfigError):
+            IOTrace.parse("0 frobnicate 0 10")
+        with pytest.raises(ConfigError):
+            IOTrace.parse("0 write 0 0")  # zero length
+        with pytest.raises(ConfigError):
+            IOTrace.parse("   # only comments\n")
+
+    def test_op_validation(self):
+        with pytest.raises(ConfigError):
+            TraceOp(rank=-1, op="write", offset=0, length=1)
+        with pytest.raises(ConfigError):
+            TraceOp(rank=0, op="write", offset=-1, length=1)
+        TraceOp(rank=0, op="barrier")  # barriers need no extent
+
+
+class TestTraceWorkload:
+    def test_plans_follow_trace(self):
+        wl = TraceWorkload(IOTrace.parse(SAMPLE))
+        writes0 = [e for rnd in wl.write_rounds(0) for e in rnd]
+        assert writes0 == [(0, 1000), (2000, 1000)]
+        reads1 = [e for rnd in wl.read_rounds(1) for e in rnd]
+        assert reads1 == [(1000, 1000)]
+
+    def test_mirrored_reads_enable_verification(self):
+        wl = TraceWorkload(IOTrace.parse(SAMPLE))
+        assert wl.read_matches_write
+
+    def test_divergent_reads_disable_verification(self):
+        t = IOTrace.parse("0 write 0 100\n0 read 50 100\n")
+        assert not TraceWorkload(t).read_matches_write
+
+    def test_restart_convention_without_reads(self):
+        t = IOTrace.parse("0 write 0 100\n")
+        wl = TraceWorkload(t)
+        assert list(wl.read_rounds(0)) == list(wl.write_rounds(0))
+
+    @pytest.mark.parametrize("stack_fn", [direct_stack, plfs_stack])
+    def test_trace_replay_verified_end_to_end(self, stack_fn):
+        trace = synthesize_strided_trace(4, per_proc=20 * KB, record=5 * KB)
+        wl = TraceWorkload(trace, name="trace-e2e")
+        world = make_world()
+        res = run_workload(world, wl, stack_fn(world), verify=True)
+        assert res.read.verified is True
+        assert res.write.bytes_moved == 4 * 20 * KB
+
+
+class TestSynthesize:
+    def test_strided_layout(self):
+        t = synthesize_strided_trace(2, per_proc=300, record=100)
+        w0 = [(op.offset, op.length) for op in t.ops_for(0, "write")]
+        assert w0 == [(0, 100), (200, 100), (400, 100)]
+        assert t.bytes_for(0) == 300
+        assert len(t.ops_for(0, "read")) == 3
+
+    def test_without_readback(self):
+        t = synthesize_strided_trace(2, per_proc=100, record=100,
+                                     with_readback=False)
+        assert not t.ops_for(0, "read")
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            synthesize_strided_trace(0, 10, 10)
+
+
+class TestBarrierRounds:
+    def test_barriers_split_rounds(self):
+        t = IOTrace.parse(
+            "0 write 0 100\n0 write 100 100\n0 barrier\n0 write 200 100\n")
+        wl = TraceWorkload(t)
+        rounds = list(wl.write_rounds(0))
+        assert rounds == [[(0, 100), (100, 100)], [(200, 100)]]
+
+    def test_no_barriers_single_round(self):
+        t = IOTrace.parse("0 write 0 100\n0 write 100 100\n")
+        rounds = list(TraceWorkload(t).write_rounds(0))
+        assert rounds == [[(0, 100), (100, 100)]]
+
+    def test_collective_trace_replay(self):
+        """Barrier-grouped trace through two-phase collective buffering."""
+        from repro.mpiio import Hints
+        from repro.workloads.base import IOStack
+        from repro.mpiio import UfsDriver
+
+        lines = []
+        nprocs = 4
+        for rnd in range(3):
+            for r in range(nprocs):
+                lines.append(f"{r} write {rnd * 4000 + r * 1000} 1000")
+            lines.append("0 barrier")
+        t = IOTrace.parse("\n".join(lines))
+        wl = TraceWorkload(t, name="trace-cb")
+        wl.collective_write = True
+        world = make_world()
+        stack = IOStack(name="direct-cb",
+                        make_driver=lambda: UfsDriver(world.volume),
+                        hints=Hints(cb_enable=True, cb_nodes=2))
+        res = run_workload(world, wl, stack, verify=True)
+        assert res.read.verified is True
