@@ -21,6 +21,57 @@ def test_engine_event_throughput(benchmark):
     assert benchmark(run) == 2000.0
 
 
+def test_zero_delay_storm(benchmark):
+    """Succeed-chain storm: every event is same-timestamp, zero-delay.
+
+    This is the immediate-queue fast path in isolation — no timeouts, so
+    a heap-based engine pays O(log n) per trigger while the FIFO deque
+    pays O(1).  The pattern is what bulk-synchronous completions
+    (collective fan-in, AllOf joins) look like from the kernel's side.
+    """
+
+    def run():
+        env = Engine()
+
+        def proc(env, depth):
+            for _ in range(depth):
+                ev = env.event()
+                ev.succeed()
+                yield ev
+            return env.now
+
+        for _ in range(100):
+            env.process(proc(env, 1000))
+        env.run()
+        return env.now
+
+    assert benchmark(run) == 0.0  # simulated time never advances
+
+
+def test_heap_delay_storm(benchmark):
+    """The same event volume through the time heap (distinct timestamps).
+
+    The comparison partner of :func:`test_zero_delay_storm`: identical
+    event count, but every event carries a unique delay so each takes the
+    heap path.  The zero-delay storm should beat this comfortably.
+    """
+
+    def run():
+        env = Engine()
+
+        def proc(env, i):
+            for k in range(1000):
+                yield env.timeout(1.0 + i * 1e-7 + k * 1e-9)
+            return env.now
+
+        for i in range(100):
+            env.process(proc(env, i))
+        env.run()
+        return env.now
+
+    assert benchmark(run) > 0.0
+
+
 def test_fair_share_throughput(benchmark):
     """GPS server with heavy churn: arrivals/completions interleaved."""
 
@@ -39,3 +90,28 @@ def test_fair_share_throughput(benchmark):
         return srv.total_served
 
     assert benchmark(run) == 100 * 200 * 1e6
+
+
+def test_serve_many_bulk_arrival(benchmark):
+    """Batched same-instant arrivals: one serve_many per round.
+
+    The bulk-synchronous case where one caller submits a whole wave of
+    demands at once — one virtual-time advance, one heapify, and at most
+    one timer per round instead of one of each per job.
+    """
+
+    def run():
+        env = Engine()
+        srv = FairShareServer(env, capacity=1e9)
+
+        def driver(env):
+            for round_no in range(200):
+                events = srv.serve_many([1e6 + i for i in range(100)])
+                yield env.all_of(events)
+
+        env.process(driver(env))
+        env.run()
+        return srv.total_served
+
+    expected = 200 * (100 * 1e6 + sum(range(100)))
+    assert benchmark(run) == expected

@@ -6,6 +6,7 @@ Usage::
     python -m repro.harness fig4 fig8           # selected figures
     python -m repro.harness all --scale paper   # published process counts
     python -m repro.harness all --json out.json # also dump JSON
+    python -m repro.harness fig4 --jobs 4       # 4 worker processes
 
 ``REPRO_SCALE=paper`` is equivalent to ``--scale paper``.
 """
@@ -31,6 +32,10 @@ def main(argv=None) -> int:
                         help=f"figures to run: {', '.join(FIGURES)} or 'all'")
     parser.add_argument("--scale", default="",
                         help="'small' (default) or 'paper' (published maxima)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for independent figure points "
+                             "(default 1 = serial; 0 = all cores); tables are "
+                             "identical at any job count")
     parser.add_argument("--json", default="",
                         help="also write results to this JSON file")
     parser.add_argument("--chart", action="store_true",
@@ -38,6 +43,8 @@ def main(argv=None) -> int:
     parser.add_argument("--logy", action="store_true",
                         help="log-scale the chart y axis (implies --chart)")
     args = parser.parse_args(argv)
+    if args.jobs < 0:
+        parser.error(f"--jobs must be >= 0, got {args.jobs}")
 
     names = list(FIGURES) if "all" in args.figures else args.figures
     unknown = [n for n in names if n not in FIGURES]
@@ -48,7 +55,7 @@ def main(argv=None) -> int:
     all_tables = []
     for name in names:
         t0 = time.time()
-        tables = FIGURES[name](scale)
+        tables = FIGURES[name](scale, jobs=args.jobs)
         dt = time.time() - t0
         all_tables.extend(tables)
         print(render_tables(tables))

@@ -17,23 +17,29 @@ from ..diagnostics import cache_report, resource_report
 from ..report import Table
 from ..scales import Scale
 from ..setup import build_world
+from ..sweep import run_points
 
-__all__ = ["diagnose"]
+__all__ = ["diagnose", "run_diagnose_point"]
 
 
-def diagnose(scale: Scale) -> List[Table]:
+def run_diagnose_point(stack_name: str, scale: Scale) -> List[Table]:
+    """Resource + cache report tables for one stack ('direct' or 'plfs')."""
     n = scale.fig2_nprocs
     wl = MPIIOTest(n, size_per_proc=scale.fig4_size_per_proc // 5,
                    transfer=scale.fig4_transfer)
-    tables: List[Table] = []
-    for stack_name, stack_fn in (("direct", direct_stack), ("plfs", plfs_stack)):
-        world = build_world(cluster_spec=lanl64(), aggregation="parallel")
-        run_workload(world, wl, stack_fn(world), cold_read=False)
-        res = resource_report(world)
-        res.id = f"diagnose-{stack_name}"
-        res.title = f"[{stack_name}] " + res.title
-        cache = cache_report(world)
-        cache.id = f"diagnose-{stack_name}-cache"
-        cache.title = f"[{stack_name}] " + cache.title
-        tables.extend([res, cache])
-    return tables
+    stack_fn = direct_stack if stack_name == "direct" else plfs_stack
+    world = build_world(cluster_spec=lanl64(), aggregation="parallel")
+    run_workload(world, wl, stack_fn(world), cold_read=False)
+    res = resource_report(world)
+    res.id = f"diagnose-{stack_name}"
+    res.title = f"[{stack_name}] " + res.title
+    cache = cache_report(world)
+    cache.id = f"diagnose-{stack_name}-cache"
+    cache.title = f"[{stack_name}] " + cache.title
+    return [res, cache]
+
+
+def diagnose(scale: Scale, jobs: int = 1) -> List[Table]:
+    results = run_points(run_diagnose_point,
+                         [(s, scale) for s in ("direct", "plfs")], jobs)
+    return [t for pair in results for t in pair]

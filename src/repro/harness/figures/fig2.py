@@ -12,14 +12,19 @@ from __future__ import annotations
 
 from typing import List
 
+from typing import Tuple
+
 from ...cluster import lanl64
 from ...pfs import gpfs, lustre, panfs
 from ...workloads import app_suite, direct_stack, plfs_stack, run_workload
 from ..report import Table
 from ..scales import Scale
 from ..setup import build_world
+from ..sweep import run_points
 
-__all__ = ["fig2"]
+__all__ = ["fig2", "run_fig2_app_point", "run_fig2_fs_point"]
+
+_FS_PRESETS = {"panfs": panfs, "lustre": lustre, "gpfs": gpfs}
 
 
 def _write_time(world, workload, stack) -> float:
@@ -27,7 +32,32 @@ def _write_time(world, workload, stack) -> float:
     return res.write.wall_time
 
 
-def fig2(scale: Scale) -> List[Table]:
+def run_fig2_app_point(label: str, scale: Scale) -> Tuple[float, float]:
+    """One application bar: (direct write time, PLFS write time)."""
+    spec = next(s for s in app_suite(scale.fig2_app_scale) if s.label == label)
+    n = scale.fig2_nprocs
+    workload = spec.make(n)
+    w_direct = build_world(cluster_spec=lanl64())
+    t_direct = _write_time(w_direct, workload, direct_stack(w_direct, spec.hints))
+    w_plfs = build_world(cluster_spec=lanl64(), federation="none")
+    t_plfs = _write_time(w_plfs, workload, plfs_stack(w_plfs, spec.hints))
+    return t_direct, t_plfs
+
+
+def run_fig2_fs_point(fs: str, scale: Scale) -> Tuple[float, float]:
+    """One file-system row: (direct write time, PLFS write time), LANL 2."""
+    cfg = _FS_PRESETS[fs]()
+    n = scale.fig2_nprocs
+    lanl2 = next(s for s in app_suite(scale.fig2_app_scale) if s.label == "LANL 2")
+    workload = lanl2.make(n)
+    w_direct = build_world(cluster_spec=lanl64(), pfs_cfg=cfg)
+    t_direct = _write_time(w_direct, workload, direct_stack(w_direct))
+    w_plfs = build_world(cluster_spec=lanl64(), pfs_cfg=cfg)
+    t_plfs = _write_time(w_plfs, workload, plfs_stack(w_plfs))
+    return t_direct, t_plfs
+
+
+def fig2(scale: Scale, jobs: int = 1) -> List[Table]:
     n = scale.fig2_nprocs
     table = Table(
         id="fig2",
@@ -35,13 +65,11 @@ def fig2(scale: Scale) -> List[Table]:
         columns=["app", "direct_write_s", "plfs_write_s", "speedup"],
         notes="paper: speedups between ~10x and ~150x across the suite",
     )
-    for spec in app_suite(scale.fig2_app_scale):
-        workload = spec.make(n)
-        w_direct = build_world(cluster_spec=lanl64())
-        t_direct = _write_time(w_direct, workload, direct_stack(w_direct, spec.hints))
-        w_plfs = build_world(cluster_spec=lanl64(), federation="none")
-        t_plfs = _write_time(w_plfs, workload, plfs_stack(w_plfs, spec.hints))
-        table.add(spec.label, t_direct, t_plfs, t_direct / t_plfs)
+    labels = [spec.label for spec in app_suite(scale.fig2_app_scale)]
+    for label, (t_direct, t_plfs) in zip(
+            labels, run_points(run_fig2_app_point,
+                               [(lb, scale) for lb in labels], jobs)):
+        table.add(label, t_direct, t_plfs, t_direct / t_plfs)
 
     porta = Table(
         id="fig2-portability",
@@ -49,13 +77,8 @@ def fig2(scale: Scale) -> List[Table]:
         columns=["file_system", "direct_write_s", "plfs_write_s", "speedup"],
         notes="§III: all three major parallel file systems serialize N-1; PLFS wins on each",
     )
-    lanl2 = next(s for s in app_suite(scale.fig2_app_scale) if s.label == "LANL 2")
-    for preset in (panfs, lustre, gpfs):
-        cfg = preset()
-        workload = lanl2.make(n)
-        w_direct = build_world(cluster_spec=lanl64(), pfs_cfg=cfg)
-        t_direct = _write_time(w_direct, workload, direct_stack(w_direct))
-        w_plfs = build_world(cluster_spec=lanl64(), pfs_cfg=cfg)
-        t_plfs = _write_time(w_plfs, workload, plfs_stack(w_plfs))
-        porta.add(cfg.name, t_direct, t_plfs, t_direct / t_plfs)
+    for fs, (t_direct, t_plfs) in zip(
+            _FS_PRESETS, run_points(run_fig2_fs_point,
+                                    [(fs, scale) for fs in _FS_PRESETS], jobs)):
+        porta.add(_FS_PRESETS[fs]().name, t_direct, t_plfs, t_direct / t_plfs)
     return [table, porta]

@@ -21,6 +21,7 @@ from ...workloads import MPIIOTest, plfs_stack, run_workload
 from ..report import Table
 from ..scales import Scale
 from ..setup import build_world
+from ..sweep import run_points
 
 __all__ = ["fig4", "run_fig4_point"]
 
@@ -39,7 +40,7 @@ def run_fig4_point(streams: int, aggregation: str, scale: Scale) -> Dict[str, fl
     }
 
 
-def fig4(scale: Scale) -> List[Table]:
+def fig4(scale: Scale, jobs: int = 1) -> List[Table]:
     panels = [
         ("fig4a", "Read open (index aggregation) time [s]", "read_open_s", 1.0,
          "paper: Flatten and ParallelRead ~4x faster than Original at 2048"),
@@ -54,10 +55,11 @@ def fig4(scale: Scale) -> List[Table]:
                          columns=["streams"] + [a for a in AGGREGATIONS],
                          notes=note)
               for pid, title, _, _, note in panels}
-    cells: Dict[Tuple[int, str], Dict[str, float]] = {}
-    for streams in scale.fig4_streams:
-        for agg in AGGREGATIONS:
-            cells[(streams, agg)] = run_fig4_point(streams, agg, scale)
+    grid = [(streams, agg) for streams in scale.fig4_streams
+            for agg in AGGREGATIONS]
+    results = run_points(run_fig4_point,
+                         [(s, a, scale) for s, a in grid], jobs)
+    cells: Dict[Tuple[int, str], Dict[str, float]] = dict(zip(grid, results))
     for pid, _, key, factor, _ in panels:
         for streams in scale.fig4_streams:
             tables[pid].add(streams, *[cells[(streams, a)][key] * factor

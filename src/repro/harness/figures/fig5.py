@@ -29,8 +29,9 @@ from ...workloads import (
 from ..report import Table
 from ..scales import Scale
 from ..setup import build_world
+from ..sweep import run_points
 
-__all__ = ["fig5", "KERNELS"]
+__all__ = ["fig5", "KERNELS", "run_fig5_point"]
 
 
 def _kernels(scale: Scale):
@@ -73,9 +74,25 @@ def _read_bw(world, workload: Workload, stack) -> float:
     return res.read.effective_bandwidth
 
 
-def fig5(scale: Scale) -> List[Table]:
+def run_fig5_point(pid: str, n: int, scale: Scale):
+    """One (kernel, process count) cell: (direct bw, PLFS bw) in bytes/s."""
+    _, _, factory, hints, _ = next(k for k in _kernels(scale) if k[0] == pid)
+    wl = factory(n)
+    w_direct = build_world(cluster_spec=lanl64())
+    bw_direct = _read_bw(w_direct, wl, direct_stack(w_direct, hints))
+    w_plfs = build_world(cluster_spec=lanl64(), aggregation="parallel")
+    bw_plfs = _read_bw(w_plfs, wl, plfs_stack(w_plfs, hints))
+    return bw_direct, bw_plfs
+
+
+def fig5(scale: Scale, jobs: int = 1) -> List[Table]:
+    kernels = _kernels(scale)
+    grid = [(pid, n) for pid, *_ in kernels for n in scale.fig5_procs]
+    results = dict(zip(grid, run_points(run_fig5_point,
+                                        [(pid, n, scale) for pid, n in grid],
+                                        jobs)))
     tables: List[Table] = []
-    for pid, label, factory, hints, note in _kernels(scale):
+    for pid, label, _factory, _hints, note in kernels:
         table = Table(
             id=pid,
             title=f"{label}: effective read bandwidth [MB/s], PLFS vs direct",
@@ -83,11 +100,7 @@ def fig5(scale: Scale) -> List[Table]:
             notes=f"paper: {note}",
         )
         for n in scale.fig5_procs:
-            wl = factory(n)
-            w_direct = build_world(cluster_spec=lanl64())
-            bw_direct = _read_bw(w_direct, wl, direct_stack(w_direct, hints))
-            w_plfs = build_world(cluster_spec=lanl64(), aggregation="parallel")
-            bw_plfs = _read_bw(w_plfs, wl, plfs_stack(w_plfs, hints))
+            bw_direct, bw_plfs = results[(pid, n)]
             table.add(n, bw_direct * 1e-6, bw_plfs * 1e-6, bw_plfs / bw_direct)
         tables.append(table)
     return tables

@@ -12,35 +12,45 @@ close is trivial (7b).
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Tuple
 
 from ...cluster import lanl64
 from ...workloads import nn_metadata_storm
 from ..report import Table
 from ..scales import Scale
 from ..setup import build_world
+from ..sweep import run_points
 
-__all__ = ["fig7"]
+__all__ = ["fig7", "run_fig7_point"]
 
 
-def fig7(scale: Scale) -> List[Table]:
+def run_fig7_point(files_per_proc: int, k: Optional[int],
+                   scale: Scale) -> Tuple[float, float]:
+    """One storm: (open time, close time); ``k`` MDSes, or direct if None."""
     n = scale.fig7_nprocs
-    mds_counts = scale.fig7_mds_counts
-    cols = ["files"] + [f"PLFS-{k}" for k in mds_counts] + ["W/O PLFS"]
+    if k is None:
+        world = build_world(cluster_spec=lanl64())
+        times = nn_metadata_storm(world, n, files_per_proc, "direct")
+    else:
+        world = build_world(cluster_spec=lanl64(), n_volumes=k,
+                            federation="container" if k > 1 else "none")
+        times = nn_metadata_storm(world, n, files_per_proc, "plfs")
+    return times.open_time, times.close_time
+
+
+def fig7(scale: Scale, jobs: int = 1) -> List[Table]:
+    n = scale.fig7_nprocs
+    mds_counts = list(scale.fig7_mds_counts) + [None]  # None = W/O PLFS
+    cols = ["files"] + [f"PLFS-{k}" for k in scale.fig7_mds_counts] + ["W/O PLFS"]
     open_t = Table(id="fig7a", title=f"N-N open time [s] ({n} procs)", columns=cols,
                    notes="paper: more MDS -> lower opens; PLFS-6/9 beat direct, PLFS-1 loses")
     close_t = Table(id="fig7b", title=f"N-N close time [s] ({n} procs)", columns=cols,
                     notes="paper: direct close wins at every MDS count")
-    for files_per_proc in scale.fig7_files_per_proc:
-        opens, closes = [], []
-        for k in mds_counts:
-            world = build_world(cluster_spec=lanl64(), n_volumes=k,
-                                federation="container" if k > 1 else "none")
-            times = nn_metadata_storm(world, n, files_per_proc, "plfs")
-            opens.append(times.open_time)
-            closes.append(times.close_time)
-        world = build_world(cluster_spec=lanl64())
-        direct = nn_metadata_storm(world, n, files_per_proc, "direct")
-        open_t.add(n * files_per_proc, *opens, direct.open_time)
-        close_t.add(n * files_per_proc, *closes, direct.close_time)
+    grid = [(fpp, k) for fpp in scale.fig7_files_per_proc for k in mds_counts]
+    results = dict(zip(grid, run_points(run_fig7_point,
+                                        [(fpp, k, scale) for fpp, k in grid],
+                                        jobs)))
+    for fpp in scale.fig7_files_per_proc:
+        open_t.add(n * fpp, *[results[(fpp, k)][0] for k in mds_counts])
+        close_t.add(n * fpp, *[results[(fpp, k)][1] for k in mds_counts])
     return [open_t, close_t]

@@ -25,6 +25,7 @@ from ...workloads import (
 from ..report import Table
 from ..scales import Scale
 from ..setup import build_world
+from ..sweep import run_points
 
 __all__ = ["fig8"]
 
@@ -34,7 +35,51 @@ def _read_bw(world, workload, stack) -> float:
     return res.read.effective_bandwidth
 
 
-def fig8a(scale: Scale) -> Table:
+def run_fig8a_point(n: int, scale: Scale):
+    """(N-N direct, N-N PLFS, N-1 PLFS) read bandwidth at *n* procs."""
+    def wl(layout):
+        return MPIIOTest(n, size_per_proc=scale.fig8_size_per_proc,
+                         transfer=scale.fig8_transfer, layout=layout)
+
+    w = build_world(cluster_spec=cielo(), pfs_cfg=panfs_cielo())
+    bw_nn_direct = _read_bw(w, wl("nn"), direct_stack(w))
+    w = build_world(cluster_spec=cielo(), pfs_cfg=panfs_cielo(), n_volumes=10,
+                    federation="container", aggregation="parallel")
+    bw_nn_plfs = _read_bw(w, wl("nn"), plfs_stack(w))
+    w = build_world(cluster_spec=cielo(), pfs_cfg=panfs_cielo(), n_volumes=10,
+                    federation="subdir", aggregation="parallel")
+    bw_n1_plfs = _read_bw(w, wl("strided"), plfs_stack(w))
+    return bw_nn_direct, bw_nn_plfs, bw_n1_plfs
+
+
+def run_fig8b_point(n: int, k: int, scale: Scale) -> float:
+    """N-N write-open time at *n* procs with *k* federated MDSes."""
+    world = build_world(cluster_spec=cielo(), pfs_cfg=panfs_cielo(), n_volumes=k,
+                        federation="container" if k > 1 else "none")
+    return nn_metadata_storm(world, n, 1, "plfs").open_time
+
+
+def run_fig8c_point(n: int, scale: Scale):
+    """N-1 write-open time at *n* procs: (PLFS-1, PLFS-10 subdir)."""
+    w1 = build_world(cluster_spec=cielo(), pfs_cfg=panfs_cielo(), n_volumes=1)
+    t1 = n1_open_storm(w1, n, "plfs").open_time
+    w10 = build_world(cluster_spec=cielo(), pfs_cfg=panfs_cielo(), n_volumes=10,
+                      federation="subdir")
+    t10 = n1_open_storm(w10, n, "plfs").open_time
+    return t1, t10
+
+
+def run_fig8d_point(n: int, scale: Scale):
+    """N-N open time at *n* procs: (direct, PLFS-10)."""
+    wd = build_world(cluster_spec=cielo(), pfs_cfg=panfs_cielo())
+    td = nn_metadata_storm(wd, n, 1, "direct").open_time
+    wp = build_world(cluster_spec=cielo(), pfs_cfg=panfs_cielo(), n_volumes=10,
+                     federation="container")
+    tp = nn_metadata_storm(wp, n, 1, "plfs").open_time
+    return td, tp
+
+
+def fig8a(scale: Scale, jobs: int = 1) -> Table:
     """Large-scale read bandwidth: N-N direct vs N-N/N-1 through PLFS."""
     table = Table(
         id="fig8a",
@@ -43,24 +88,15 @@ def fig8a(scale: Scale) -> Table:
         notes="paper: N-1 PLFS >= N-N direct except at the top count; "
               "N-N PLFS close to or above direct (ParallelIndexRead + 10 MDS)",
     )
-    for n in scale.fig8_read_procs:
-        def wl(layout):
-            return MPIIOTest(n, size_per_proc=scale.fig8_size_per_proc,
-                             transfer=scale.fig8_transfer, layout=layout)
-
-        w = build_world(cluster_spec=cielo(), pfs_cfg=panfs_cielo())
-        bw_nn_direct = _read_bw(w, wl("nn"), direct_stack(w))
-        w = build_world(cluster_spec=cielo(), pfs_cfg=panfs_cielo(), n_volumes=10, federation="container",
-                        aggregation="parallel")
-        bw_nn_plfs = _read_bw(w, wl("nn"), plfs_stack(w))
-        w = build_world(cluster_spec=cielo(), pfs_cfg=panfs_cielo(), n_volumes=10, federation="subdir",
-                        aggregation="parallel")
-        bw_n1_plfs = _read_bw(w, wl("strided"), plfs_stack(w))
-        table.add(n, bw_nn_direct * 1e-6, bw_nn_plfs * 1e-6, bw_n1_plfs * 1e-6)
+    for n, bws in zip(scale.fig8_read_procs,
+                      run_points(run_fig8a_point,
+                                 [(n, scale) for n in scale.fig8_read_procs],
+                                 jobs)):
+        table.add(n, *[bw * 1e-6 for bw in bws])
     return table
 
 
-def fig8b(scale: Scale) -> Table:
+def fig8b(scale: Scale, jobs: int = 1) -> Table:
     """N-N write-open time vs federated MDS count."""
     table = Table(
         id="fig8b",
@@ -68,18 +104,15 @@ def fig8b(scale: Scale) -> Table:
         columns=["procs"] + [f"PLFS-{k}" for k in scale.fig8_mds_counts],
         notes="paper: PLFS-1 performs poorly; 10 MDS improves opens significantly",
     )
+    grid = [(n, k) for n in scale.fig8_meta_procs for k in scale.fig8_mds_counts]
+    results = dict(zip(grid, run_points(run_fig8b_point,
+                                        [(n, k, scale) for n, k in grid], jobs)))
     for n in scale.fig8_meta_procs:
-        row = [n]
-        for k in scale.fig8_mds_counts:
-            world = build_world(cluster_spec=cielo(), pfs_cfg=panfs_cielo(), n_volumes=k,
-                                federation="container" if k > 1 else "none")
-            times = nn_metadata_storm(world, n, 1, "plfs")
-            row.append(times.open_time)
-        table.add(*row)
+        table.add(n, *[results[(n, k)] for k in scale.fig8_mds_counts])
     return table
 
 
-def fig8c(scale: Scale) -> Table:
+def fig8c(scale: Scale, jobs: int = 1) -> Table:
     """N-1 write-open time, PLFS-1 vs PLFS-10 (subdir federation)."""
     table = Table(
         id="fig8c",
@@ -88,16 +121,15 @@ def fig8c(scale: Scale) -> Table:
         notes="paper: flat at small scale (one container, one MDS suffices); "
               "10 MDS wins as process count grows",
     )
-    for n in scale.fig8_meta_procs:
-        w1 = build_world(cluster_spec=cielo(), pfs_cfg=panfs_cielo(), n_volumes=1)
-        t1 = n1_open_storm(w1, n, "plfs").open_time
-        w10 = build_world(cluster_spec=cielo(), pfs_cfg=panfs_cielo(), n_volumes=10, federation="subdir")
-        t10 = n1_open_storm(w10, n, "plfs").open_time
+    for n, (t1, t10) in zip(scale.fig8_meta_procs,
+                            run_points(run_fig8c_point,
+                                       [(n, scale) for n in scale.fig8_meta_procs],
+                                       jobs)):
         table.add(n, t1, t10)
     return table
 
 
-def fig8d(scale: Scale) -> Table:
+def fig8d(scale: Scale, jobs: int = 1) -> Table:
     """The 17x headline: direct vs PLFS-10 N-N open time."""
     table = Table(
         id="fig8d",
@@ -105,15 +137,15 @@ def fig8d(scale: Scale) -> Table:
         columns=["procs", "without_plfs", "with_plfs10", "speedup"],
         notes="paper: max speedup 17x at 32,768 processes",
     )
-    for n in scale.fig8_meta_procs:
-        wd = build_world(cluster_spec=cielo(), pfs_cfg=panfs_cielo())
-        td = nn_metadata_storm(wd, n, 1, "direct").open_time
-        wp = build_world(cluster_spec=cielo(), pfs_cfg=panfs_cielo(), n_volumes=10, federation="container")
-        tp = nn_metadata_storm(wp, n, 1, "plfs").open_time
+    for n, (td, tp) in zip(scale.fig8_meta_procs,
+                           run_points(run_fig8d_point,
+                                      [(n, scale) for n in scale.fig8_meta_procs],
+                                      jobs)):
         table.add(n, td, tp, td / tp)
     return table
 
 
-def fig8(scale: Scale) -> List[Table]:
+def fig8(scale: Scale, jobs: int = 1) -> List[Table]:
     """All four §VI panels."""
-    return [fig8a(scale), fig8b(scale), fig8c(scale), fig8d(scale)]
+    return [fig8a(scale, jobs), fig8b(scale, jobs), fig8c(scale, jobs),
+            fig8d(scale, jobs)]

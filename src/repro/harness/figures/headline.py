@@ -18,18 +18,18 @@ from .fig8 import fig8d
 __all__ = ["headline"]
 
 
-def headline(scale: Scale) -> List[Table]:
+def headline(scale: Scale, jobs: int = 1) -> List[Table]:
     table = Table(
         id="headline",
         title="Headline maxima: PLFS speedups (write / read / metadata)",
         columns=["metric", "paper", "measured", "source"],
         notes="paper §I: 'up to 150x, 10x, and 17x respectively'",
     )
-    write_best = max(v for t in fig2(scale) for v in t.column("speedup"))
-    f5 = fig5(scale)
+    write_best = max(v for t in fig2(scale, jobs) for v in t.column("speedup"))
+    f5 = fig5(scale, jobs)
     lanl1 = next(t for t in f5 if t.id == "fig5e")
     read_best = max(lanl1.column("plfs_speedup"))
-    f8d = fig8d(scale)
+    f8d = fig8d(scale, jobs)
     meta_best = max(f8d.column("speedup"))
     table.add("write speedup", "150x", f"{write_best:.1f}x", "fig2 max")
     table.add("read speedup", "10x", f"{read_best:.1f}x", "fig5e (LANL 1) max")

@@ -108,10 +108,11 @@ class PfsConfig:
     def __post_init__(self) -> None:
         if self.n_osds < 1:
             raise ConfigError("need at least one OSD")
-        if self.stripe_width < 1 or self.stripe_width > self.n_osds:
-            raise ConfigError(
-                f"stripe_width {self.stripe_width} must be in [1, n_osds={self.n_osds}]"
-            )
+        if self.stripe_width < 1:
+            raise ConfigError(f"stripe_width {self.stripe_width} must be >= 1")
+        # stripe_width > n_osds is allowed: lanes wrap around the pool and a
+        # single I/O then submits several lane requests to one OSD (the
+        # OsdPool batches them through Osd.io_many).
         if self.stripe_unit <= 0:
             raise ConfigError("stripe_unit must be positive")
         if self.osd_bw <= 0 or self.mds_ops_per_sec <= 0 or self.dir_ops_per_sec <= 0:

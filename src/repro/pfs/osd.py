@@ -79,6 +79,29 @@ class Osd:
         extra = (inflate - 1.0) * nbytes
         return self.server.serve(base + extra)
 
+    def io_many(self, requests: List[Tuple[int, int, int]], *, ops: int = 1,
+                inflate: float = 1.0, seek_mult: float = 1.0,
+                client_id: int = None, is_read: bool = False) -> List[Event]:
+        """Submit several same-instant requests; one event per request.
+
+        *requests* is ``[(obj_uid, offset, nbytes), ...]``, charged in order
+        (sequentiality tracking sees exactly the sequence a loop of
+        :meth:`io` calls would), then submitted through
+        :meth:`FairShareServer.serve_many` so the whole batch pays one
+        virtual-time advance, one heap restore, and at most one timer —
+        instead of one of each per request.
+        """
+        if ops < 1 or inflate < 1.0 or seek_mult < 1.0:
+            raise ConfigError(f"bad OSD batch ({ops}, {inflate}, {seek_mult})")
+        demands = []
+        for obj_uid, offset, nbytes in requests:
+            if nbytes < 0:
+                raise ConfigError(f"bad OSD request length {nbytes}")
+            base = self._demand(obj_uid, offset, nbytes, ops, seek_mult,
+                                client_id, is_read)
+            demands.append(base + (inflate - 1.0) * nbytes)
+        return self.server.serve_many(demands)
+
     def forget(self, obj_uid: int) -> None:
         """Drop sequentiality-tracking state for a deleted object."""
         self._last_end.pop(obj_uid, None)
@@ -124,6 +147,9 @@ class OsdPool:
         self.env = env
         self.cfg = cfg
         self.osds = [Osd(env, cfg, i) for i in range(cfg.n_osds)]
+        # Object-uid stride: (file, lane) pairs must never alias.  64 covers
+        # every historical config; wider stripes round up to a power of two.
+        self._uid_mult = max(64, 1 << (cfg.stripe_width - 1).bit_length())
 
     def lane_osd(self, file_uid: int, lane: int) -> Osd:
         """Round-robin placement: a file's lane *l* lives on one fixed OSD."""
@@ -136,17 +162,40 @@ class OsdPool:
         """Device events for a file byte-range I/O, one per lane touched.
 
         The object uid for sequentiality tracking combines file and lane, so
-        distinct files never alias each other's streams.
+        distinct files never alias each other's streams.  When the stripe is
+        wider than the pool (lanes wrap around the OSDs), each OSD's lane
+        requests are batched through :meth:`Osd.io_many` so the device pays
+        one fair-share submission per OSD rather than one per lane.
         """
         cfg = self.cfg
-        events = []
-        for lane, obj_off, nbytes in stripe_lanes(offset, length, cfg.stripe_unit,
-                                                  cfg.stripe_width):
-            osd = self.lane_osd(file_uid, lane)
-            obj_uid = file_uid * 64 + lane  # distinct per (file, lane)
-            events.append(osd.io(obj_uid, obj_off, nbytes, ops=ops_per_lane,
-                                 inflate=inflate, seek_mult=seek_mult,
-                                 client_id=client_id, is_read=is_read))
+        mult = self._uid_mult
+        lanes = stripe_lanes(offset, length, cfg.stripe_unit, cfg.stripe_width)
+        kwargs = dict(ops=ops_per_lane, inflate=inflate, seek_mult=seek_mult,
+                      client_id=client_id, is_read=is_read)
+        if cfg.stripe_width <= cfg.n_osds:
+            # Common case: every lane of one I/O lives on its own OSD.
+            return [
+                self.lane_osd(file_uid, lane).io(file_uid * mult + lane,
+                                                 obj_off, nbytes, **kwargs)
+                for lane, obj_off, nbytes in lanes
+            ]
+        # Wide stripe: group each OSD's lanes (submission-order preserving,
+        # so per-object seek accounting is unchanged) and batch per device.
+        by_osd: Dict[int, List[int]] = {}
+        for i, (lane, _, _) in enumerate(lanes):
+            by_osd.setdefault((file_uid + lane) % cfg.n_osds, []).append(i)
+        events: List[Event] = [None] * len(lanes)  # type: ignore[list-item]
+        for osd_index, idxs in by_osd.items():
+            osd = self.osds[osd_index]
+            if len(idxs) == 1:
+                lane, obj_off, nbytes = lanes[idxs[0]]
+                events[idxs[0]] = osd.io(file_uid * mult + lane, obj_off,
+                                         nbytes, **kwargs)
+            else:
+                reqs = [(file_uid * mult + lanes[i][0], lanes[i][1], lanes[i][2])
+                        for i in idxs]
+                for i, ev in zip(idxs, osd.io_many(reqs, **kwargs)):
+                    events[i] = ev
         return events
 
     @property

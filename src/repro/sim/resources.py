@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Any, Deque, List, Tuple
+from typing import Any, Deque, List, Sequence, Tuple
 
 from ..errors import SimulationError
 from .engine import Engine, Event
@@ -122,6 +122,8 @@ class FairShareServer:
         self._jobs: List[Tuple[float, int, Event]] = []  # (finish_vtime, seq, event)
         self._seq = 0
         self._timer_seq = 0  # invalidates stale completion timers
+        self._deadline = float("inf")  # wall time the earliest finish completes
+        self._armed_at = float("inf")  # wall time the live timer event targets
         # Stats.
         self.total_served = 0.0
         self.peak_active = 0
@@ -152,27 +154,96 @@ class FairShareServer:
             return ev
         self._advance()
         self._seq += 1
-        heapq.heappush(self._jobs, (self._vtime + demand, self._seq, ev))
+        jobs = self._jobs
+        heapq.heappush(jobs, (self._vtime + demand, self._seq, ev))
         self.total_served += demand
-        self.peak_active = max(self.peak_active, len(self._jobs))
+        if len(jobs) > self.peak_active:
+            self.peak_active = len(jobs)
         self._reschedule()
         return ev
 
+    def serve_many(self, demands: Sequence[float]) -> List[Event]:
+        """Submit a batch of jobs arriving at the same instant.
+
+        Equivalent to ``[serve(d) for d in demands]`` — same virtual finish
+        times, same completion timestamps — but pays one virtual-time
+        advance, one heap restore, and at most one timer re-arm for the
+        whole batch.  This is the entry point for the bulk-synchronous
+        pattern where one caller submits N jobs at once (e.g. a striped
+        I/O touching one device on several lanes).
+        """
+        events: List[Event] = []
+        env = self.env
+        self._advance()
+        jobs = self._jobs
+        vt = self._vtime
+        pushed = 0
+        for demand in demands:
+            if demand < 0:
+                raise SimulationError(f"negative demand {demand!r}")
+            ev = Event(env)
+            events.append(ev)
+            if demand == 0:
+                ev.succeed()
+                continue
+            self._seq += 1
+            if pushed:
+                jobs.append((vt + demand, self._seq, ev))
+            else:
+                heapq.heappush(jobs, (vt + demand, self._seq, ev))
+            pushed += 1
+            self.total_served += demand
+        if pushed:
+            if pushed > 1:
+                heapq.heapify(jobs)
+            if len(jobs) > self.peak_active:
+                self.peak_active = len(jobs)
+            self._reschedule()
+        return events
+
     def _reschedule(self) -> None:
-        """(Re)arm the completion timer for the earliest virtual finish."""
+        """Update the completion deadline; arm a timer only if it moved earlier.
+
+        The deadline (wall time the earliest virtual finish completes) is
+        recomputed on every arrival and completion, but a timer *event* is
+        created only when the new deadline precedes the currently armed one.
+        An arrival that lands behind the heap top can only push the deadline
+        later (virtual time now grows slower), so the armed timer fires
+        early, finds nothing due, and chains to the stored deadline in
+        :meth:`_on_timer`.  A bulk-synchronous storm of N same-instant
+        arrivals therefore costs one timer event instead of N — and because
+        the chained timer targets the stored *absolute* deadline
+        (``Engine.schedule_at``), completion timestamps are bit-for-bit what
+        per-arrival re-arming would produce.
+        """
         if not self._jobs:
+            self._deadline = float("inf")
             return
         finish_v = self._jobs[0][0]
         k = len(self._jobs)
         dt = max(0.0, (finish_v - self._vtime) * k / self.capacity)
+        self._deadline = self.env.now + dt
+        if self._deadline < self._armed_at:
+            self._arm()
+
+    def _arm(self) -> None:
+        """Create the physical timer event targeting the current deadline."""
         self._timer_seq += 1
         my_seq = self._timer_seq
-        timer = self.env.timeout(dt)
+        self._armed_at = self._deadline
+        timer = self.env.schedule_at(self._deadline)
         timer._add_callback(lambda _ev, s=my_seq: self._on_timer(s))
 
     def _on_timer(self, seq: int) -> None:
         if seq != self._timer_seq:
-            return  # stale timer; a newer arrival re-armed it
+            return  # superseded by an earlier-deadline timer
+        self._armed_at = float("inf")  # this timer is spent
+        if self.env.now < self._deadline:
+            # Fired early: later arrivals pushed the deadline back without
+            # arming a fresh timer (see _reschedule).  Chain to the true
+            # deadline; no state has to change.
+            self._arm()
+            return
         self._advance()
         # Complete every job whose virtual finish has been reached.  The
         # epsilon absorbs float drift so simultaneous finishers batch.
@@ -184,9 +255,8 @@ class FairShareServer:
         if not completed and self._jobs:
             # Float underflow: the timer was armed for the heap top, but the
             # residual virtual time is below the resolution of `now` so
-            # _advance() made no progress.  Only arrivals could have changed
-            # the top since arming (they re-arm), so completing it is exact
-            # up to one ulp — and refusing to would loop forever.
+            # _advance() made no progress.  Completing it is exact up to one
+            # ulp — and refusing to would loop forever.
             fv, _, ev = heapq.heappop(self._jobs)
             self._vtime = fv
             completed.append(ev)

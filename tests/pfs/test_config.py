@@ -15,7 +15,6 @@ class TestPfsConfigValidation:
     @pytest.mark.parametrize("kw", [
         dict(n_osds=0),
         dict(stripe_width=0),
-        dict(n_osds=4, stripe_width=5),
         dict(stripe_unit=0),
         dict(osd_bw=0),
         dict(mds_ops_per_sec=0),
@@ -28,6 +27,11 @@ class TestPfsConfigValidation:
     def test_bad_parameters_rejected(self, kw):
         with pytest.raises(ConfigError):
             PfsConfig(**kw)
+
+    def test_wide_stripe_allowed(self):
+        # Lanes may wrap around the pool: OsdPool batches same-OSD lanes.
+        cfg = PfsConfig(n_osds=4, stripe_width=8)
+        assert cfg.stripe_width == 8
 
     def test_op_costs_must_be_complete(self):
         with pytest.raises(ConfigError, match="op_costs missing"):

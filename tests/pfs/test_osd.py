@@ -138,6 +138,50 @@ class TestOsd:
         env.run_process(proc(env))
         assert pool.total_bytes_moved == 10 * 64 * KiB
 
+    def test_io_many_matches_loop_of_io(self):
+        """Batched submission must keep the io() loop's exact timing and
+        seek accounting (demands are charged in request order)."""
+        reqs = [(7, 0, 64 * KiB), (7, 64 * KiB, 64 * KiB), (9, 0, 32 * KiB)]
+
+        def completions(batch):
+            env = Engine()
+            osd = Osd(env, self.cfg(), 0)
+            times = {}
+
+            def proc(env):
+                yield env.timeout(0.25)
+                if batch:
+                    events = osd.io_many(list(reqs))
+                else:
+                    events = [osd.io(*r) for r in reqs]
+                for i, ev in enumerate(events):
+                    ev._add_callback(lambda _e, i=i: times.setdefault(i, env.now))
+                yield env.all_of(events)
+
+            env.run_process(proc(env))
+            return times, osd.seeks, osd.requests, osd.bytes_moved
+
+        assert completions(batch=True) == completions(batch=False)
+
+    def test_wide_stripe_batches_same_osd_lanes(self):
+        """stripe_width > n_osds wraps lanes around the pool; io_events
+        must still emit one event per lane, covering every byte."""
+        cfg = PfsConfig(n_osds=2, stripe_unit=64 * KiB, stripe_width=4,
+                        osd_bw=100e6)
+        env = Engine()
+        pool = OsdPool(env, cfg)
+
+        def proc(env):
+            events = pool.io_events(3, 0, 8 * 64 * KiB)
+            assert len(events) == 4  # one per lane, two lanes per OSD
+            assert all(ev is not None for ev in events)
+            yield env.all_of(events)
+
+        env.run_process(proc(env))
+        assert pool.total_bytes_moved == 8 * 64 * KiB
+        # Both OSDs served two lanes' worth of the I/O.
+        assert all(osd.bytes_moved == 4 * 64 * KiB for osd in pool.osds)
+
 
 class TestReadaheadPollution:
     def cfg(self, waste):
