@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Generator, Iterable, List
 
-from ..errors import ConfigError
+from ..errors import ConfigError, NetworkPartitioned
 from ..sim import AllOf, Engine, FairShareServer
 from .node import Node
 
@@ -75,6 +75,11 @@ class StorageNetwork:
     for the 64-node cluster is the 10 GigE uplink) plus per-node storage
     NICs.  Both directions share the pipe, as they do on a single Ethernet
     uplink.
+
+    Fault hooks (driven by ``repro.faults``): :meth:`partition` severs the
+    link — new transfers raise :class:`NetworkPartitioned`, bytes already
+    on the wire freeze until :meth:`heal` — and :attr:`extra_latency` adds
+    a jitter term to every traversal (a flapping or congested link).
     """
 
     def __init__(self, env: Engine, nodes: Iterable[Node], *, latency: float,
@@ -85,12 +90,50 @@ class StorageNetwork:
             raise ConfigError("bandwidths must be positive")
         self.env = env
         self.latency = latency
+        self.aggregate_bw = aggregate_bw
         self.pipe = FairShareServer(env, aggregate_bw, name="storage-pipe")
         self._client_nics = {
             node.id: FairShareServer(env, client_bw, name=f"stor-nic[{node.id}]")
             for node in nodes
         }
         self.bytes_moved = 0
+        self.down = False
+        self.extra_latency = 0.0
+        self.partitions = 0
+
+    # -- fault hooks -------------------------------------------------------
+    def partition(self) -> None:
+        """Sever the link: reject new transfers, freeze bytes on the wire."""
+        if self.down:
+            return
+        self.down = True
+        self.partitions += 1
+        self.pipe.pause()
+        for nic in self._client_nics.values():
+            nic.pause()
+
+    def heal(self) -> None:
+        """Reconnect a partitioned link; frozen transfers resume."""
+        if not self.down:
+            return
+        self.down = False
+        self.pipe.resume()
+        for nic in self._client_nics.values():
+            nic.resume()
+
+    def slow_down(self, factor: float) -> None:
+        """Degrade the shared pipe to ``1/factor`` of configured bandwidth."""
+        if not (factor >= 1.0):
+            raise ConfigError(f"slow_down factor must be >= 1, got {factor}")
+        self.pipe.set_capacity(self.aggregate_bw / factor)
+
+    def restore_speed(self) -> None:
+        """Undo :meth:`slow_down`."""
+        self.pipe.set_capacity(self.aggregate_bw)
+
+    def _check_up(self) -> None:
+        if self.down:
+            raise NetworkPartitioned("storage-net", "storage network partitioned")
 
     def path_events(self, node: Node, nbytes: int) -> list:
         """Fair-share events for *nbytes* crossing this network from/to *node*.
@@ -99,6 +142,7 @@ class StorageNetwork:
         storage-device service (the bytes stream through NIC, pipe, and
         device concurrently).
         """
+        self._check_up()
         self.bytes_moved += nbytes
         if nbytes == 0:
             return []
@@ -106,7 +150,8 @@ class StorageNetwork:
 
     def transfer(self, node: Node, nbytes: int) -> Generator:
         """Latency plus a full traversal of the network (no device component)."""
-        yield self.env.timeout(self.latency)
+        self._check_up()
+        yield self.env.timeout(self.latency + self.extra_latency)
         events = self.path_events(node, nbytes)
         if events:
             yield AllOf(self.env, events)

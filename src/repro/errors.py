@@ -90,12 +90,65 @@ class UnsupportedOperation(FSError):
     errno_name = "ENOTSUP"
 
 
+class TransientIOError(FSError):
+    """A component failure that a client may retry (base for degraded modes).
+
+    Raised by the degraded-mode models in ``pfs``/``cluster`` when a fault
+    plan has taken a component down.  The retry machinery in
+    ``repro.faults.policies`` catches exactly this type: anything else is a
+    programming error and propagates.
+    """
+
+    errno_name = "EIO"
+
+
+class StorageUnavailable(TransientIOError):
+    """An OSD is down; I/O against it fails until it is restored."""
+
+    errno_name = "EIO"
+
+
+class MDSUnavailable(TransientIOError):
+    """The metadata server crashed; ops fail until failover completes."""
+
+    errno_name = "ETIMEDOUT"
+
+
+class NetworkPartitioned(TransientIOError):
+    """The storage network is partitioned; transfers cannot start."""
+
+    errno_name = "ENETDOWN"
+
+
 class MPIError(ReproError):
     """Misuse of the simulated MPI runtime (rank/tag/communicator errors)."""
 
 
 class PLFSError(ReproError):
     """PLFS container corruption or protocol violation."""
+
+
+class PartialViewError(PLFSError):
+    """A reader assembled only part of the logical file.
+
+    Raised when index logs stay unreachable after retries: the reader
+    degrades to the writers it *could* reach instead of hanging, and this
+    error names the ones it could not.
+    """
+
+    def __init__(self, path: str, missing_writers, missing_subdirs=()):
+        self.path = path
+        self.missing_writers = tuple(sorted(missing_writers))
+        self.missing_subdirs = tuple(sorted(missing_subdirs))
+        parts = []
+        if self.missing_writers:
+            parts.append(f"index logs unreachable for writer(s) "
+                         f"{list(self.missing_writers)}")
+        if self.missing_subdirs:
+            parts.append(f"subdir(s) {list(self.missing_subdirs)} could not "
+                         f"be enumerated (writers there unknown)")
+        super().__init__(
+            f"partial view of {path!r}: " + "; ".join(parts))
 
 
 class ConfigError(ReproError):

@@ -1,0 +1,209 @@
+"""FaultPlan: deterministic, seeded schedules of component failures.
+
+§I of the paper argues from failure rates: exascale machines fail often
+enough that checkpoint I/O *is* the workload.  A :class:`FaultPlan` makes
+failure a first-class, reproducible input — a sorted schedule of
+:class:`FaultEvent` records plus a seed, from which every stochastic draw
+in a fault run (schedule generation, retry jitter, the campaign's
+compute-failure clock) derives through named, process-stable substreams.
+The same plan therefore replays bit-identically: across repeated runs,
+across harness ``--jobs`` counts, and across machines.
+
+Event kinds
+-----------
+``osd_slow``       one OSD serves at ``1/magnitude`` speed for ``duration``
+``osd_outage``     one OSD is down for ``duration`` (new I/O raises EIO,
+                   in-flight service stalls frozen until restore)
+``mds_crash``      the MDS crashes, dropping queued ops; a standby is
+                   promoted after ``duration`` (detection + promotion)
+``net_jitter``     the storage network adds ``magnitude`` seconds of
+                   latency to every traversal for ``duration``
+``net_partition``  the storage network is severed for ``duration``
+``writer_kill``    rank ``target`` of the instrumented job dies after
+                   acknowledging ``magnitude`` bytes (byte-offset kill;
+                   with magnitude 0, at simulated time ``time``)
+``compute_kill``   an application compute failure at ``time`` (consumed by
+                   the campaign's failure clock, not the injector)
+
+The first five are *component* faults, compiled onto the world by
+:class:`repro.faults.injector.FaultInjector`; the last two are consumed at
+the workload layer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["FAULT_KINDS", "COMPONENT_KINDS", "FaultEvent", "FaultPlan",
+           "FailureClock"]
+
+COMPONENT_KINDS = frozenset({
+    "osd_slow", "osd_outage", "mds_crash", "net_jitter", "net_partition",
+})
+
+FAULT_KINDS = COMPONENT_KINDS | {"writer_kill", "compute_kill"}
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One scheduled fault.  Field meaning per kind is in the module doc."""
+
+    time: float
+    kind: str
+    target: int = 0
+    duration: float = 0.0
+    magnitude: float = 1.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(
+                f"unknown fault kind {self.kind!r}; choose from {sorted(FAULT_KINDS)}")
+        if self.time < 0 or self.duration < 0:
+            raise ConfigError(f"fault times must be non-negative: {self}")
+        if self.target < 0:
+            raise ConfigError(f"fault target must be non-negative: {self}")
+
+
+def _substream(seed: int, stream: str, index: int) -> np.random.Generator:
+    """A process-stable named substream of the plan's seed.
+
+    ``crc32`` rather than ``hash()`` because Python string hashing is
+    salted per process — worker processes in a ``--jobs N`` sweep must
+    derive identical streams.
+    """
+    return np.random.default_rng(
+        [seed & 0xFFFFFFFF, zlib.crc32(stream.encode("utf-8")), index])
+
+
+class FailureClock:
+    """Lazy source of absolute compute-failure times for a campaign.
+
+    Explicit ``compute_kill`` events fire first (in schedule order); once
+    exhausted, arrivals continue as a renewal process with exponential
+    gaps of mean *mtbf* drawn from the plan's ``campaign-failures``
+    substream — the classic memoryless platform-failure model, now seeded
+    through the plan instead of a private ``random.Random``.
+    """
+
+    def __init__(self, rng: np.random.Generator, mtbf: Optional[float],
+                 explicit: Sequence[float] = ()):
+        self._rng = rng
+        self._mtbf = mtbf
+        self._explicit = deque(sorted(explicit))
+
+    def next_failure(self, after: float) -> float:
+        """The first failure time strictly after *after* (inf if none)."""
+        while self._explicit:
+            t = self._explicit[0]
+            if t > after:
+                return t
+            self._explicit.popleft()
+        if self._mtbf is None or not (self._mtbf < float("inf")):
+            return float("inf")
+        return after + float(self._rng.exponential(self._mtbf))
+
+
+class FaultPlan:
+    """An immutable, seeded schedule of fault events."""
+
+    def __init__(self, events: Iterable[FaultEvent] = (), *, seed: int = 0):
+        self.events: Tuple[FaultEvent, ...] = tuple(sorted(events))
+        self.seed = int(seed)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan(seed={self.seed}, {len(self.events)} events)"
+
+    # -- derived streams ---------------------------------------------------
+    def rng(self, stream: str, index: int = 0) -> np.random.Generator:
+        """A named substream of this plan's seed (process-stable)."""
+        return _substream(self.seed, stream, index)
+
+    def failure_clock(self, mtbf: Optional[float] = None) -> FailureClock:
+        """The campaign's compute-failure clock (see :class:`FailureClock`)."""
+        explicit = [ev.time for ev in self.events if ev.kind == "compute_kill"]
+        return FailureClock(self.rng("campaign-failures"), mtbf, explicit)
+
+    # -- views -------------------------------------------------------------
+    def of_kind(self, *kinds: str) -> Tuple[FaultEvent, ...]:
+        """The schedule restricted to the given kinds."""
+        return tuple(ev for ev in self.events if ev.kind in kinds)
+
+    @property
+    def component_events(self) -> Tuple[FaultEvent, ...]:
+        """Events the injector compiles onto the world."""
+        return tuple(ev for ev in self.events if ev.kind in COMPONENT_KINDS)
+
+    def writer_kills(self) -> dict:
+        """``rank -> FaultEvent`` for writer kills (first kill per rank wins)."""
+        out: dict = {}
+        for ev in self.events:
+            if ev.kind == "writer_kill" and ev.target not in out:
+                out[ev.target] = ev
+        return out
+
+    def signature(self) -> str:
+        """Deterministic digest of the full schedule (for bit-identity tests)."""
+        h = hashlib.sha256()
+        h.update(str(self.seed).encode())
+        for ev in self.events:
+            h.update(repr((ev.time, ev.kind, ev.target, ev.duration,
+                           ev.magnitude)).encode())
+        return h.hexdigest()[:16]
+
+    # -- generation --------------------------------------------------------
+    @classmethod
+    def generate(cls, seed: int, *, horizon: float, mtbf: float,
+                 kinds: Sequence[str] = ("osd_outage",),
+                 n_osds: int = 1, n_ranks: int = 1,
+                 outage_duration: float = 2.0,
+                 detection_delay: float = 1.0,
+                 slow_factor: float = 4.0,
+                 jitter_latency: float = 5e-3,
+                 partition_duration: float = 1.0) -> "FaultPlan":
+        """A random plan: per kind, Poisson arrivals of mean gap *mtbf*.
+
+        Each kind draws from its own substream, so adding a kind to the mix
+        never perturbs the schedules of the others.  Targets (which OSD,
+        which rank) come from the same per-kind stream.
+        """
+        if not (horizon > 0) or not (mtbf > 0):
+            raise ConfigError("horizon and mtbf must be positive")
+        events = []
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise ConfigError(f"unknown fault kind {kind!r}")
+            rng = _substream(seed, "gen:" + kind, 0)
+            t = float(rng.exponential(mtbf))
+            while t < horizon:
+                if kind == "osd_slow":
+                    ev = FaultEvent(t, kind, target=int(rng.integers(n_osds)),
+                                    duration=outage_duration,
+                                    magnitude=slow_factor)
+                elif kind == "osd_outage":
+                    ev = FaultEvent(t, kind, target=int(rng.integers(n_osds)),
+                                    duration=outage_duration)
+                elif kind == "mds_crash":
+                    ev = FaultEvent(t, kind, duration=detection_delay)
+                elif kind == "net_jitter":
+                    ev = FaultEvent(t, kind, duration=outage_duration,
+                                    magnitude=jitter_latency)
+                elif kind == "net_partition":
+                    ev = FaultEvent(t, kind, duration=partition_duration)
+                elif kind == "writer_kill":
+                    ev = FaultEvent(t, kind, target=int(rng.integers(n_ranks)))
+                else:  # compute_kill
+                    ev = FaultEvent(t, kind)
+                events.append(ev)
+                t += float(rng.exponential(mtbf))
+        return cls(events, seed=seed)

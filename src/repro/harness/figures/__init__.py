@@ -2,6 +2,7 @@
 
 from .ablations import ablations
 from .diagnose import diagnose
+from .faults import faults
 from .fig2 import fig2
 from .fig4 import fig4
 from .fig5 import fig5
@@ -18,7 +19,8 @@ FIGURES = {
     "ablations": ablations,
     "headline": headline,
     "diagnose": diagnose,
+    "faults": faults,
 }
 
-__all__ = ["FIGURES", "ablations", "diagnose", "fig2", "fig4", "fig5", "fig7",
-           "fig8", "headline"]
+__all__ = ["FIGURES", "ablations", "diagnose", "faults", "fig2", "fig4",
+           "fig5", "fig7", "fig8", "headline"]

@@ -1,0 +1,13 @@
+"""faults — resilience under injected failures (repro.faults subsystem).
+
+Campaign useful-work efficiency vs MTBF and fault kind, plus post-crash
+recovered-bytes fractions, PLFS vs direct N-1.  The heavy lifting lives
+in :mod:`repro.faults.experiment`; this module is the harness entry
+point so ``python -m repro.harness faults`` works like any figure.
+"""
+
+from __future__ import annotations
+
+from ...faults.experiment import faults, run_faults_point
+
+__all__ = ["faults", "run_faults_point"]

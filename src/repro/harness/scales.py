@@ -54,6 +54,18 @@ class Scale:
     fig8_transfer: int = 8 * MiB
     fig8_mds_counts: List[int] = field(default_factory=lambda: [1, 10, 20])
 
+    # faults (resilience: campaign efficiency and post-crash recovery
+    # under injected component faults; see repro.faults.experiment)
+    faults_nprocs: int = 8
+    faults_per_proc: int = 2 * MB
+    faults_record: int = 256 * KB
+    faults_work: float = 120.0
+    faults_interval: float = 30.0
+    faults_mtbfs: List[float] = field(default_factory=lambda: [60.0, 240.0])
+    faults_kinds: List[str] = field(
+        default_factory=lambda: ["none", "osd_outage", "mds_crash", "writer_kill"])
+    faults_seed: int = 2012
+
 
 SMALL = Scale(name="small")
 
@@ -72,6 +84,12 @@ PAPER = Scale(
     fig8_read_procs=[4096, 8192, 16384, 32768, 65536],
     fig8_meta_procs=[4096, 8192, 16384, 32768],
     fig8_mds_counts=[1, 10, 20],
+    faults_nprocs=64,
+    faults_per_proc=16 * MB,
+    faults_record=1 * MB,
+    faults_work=600.0,
+    faults_interval=60.0,
+    faults_mtbfs=[120.0, 480.0, 1920.0],
 )
 
 

@@ -104,12 +104,16 @@ def run_job(env: Engine, cluster: Cluster, nprocs: int,
     done._add_callback(lambda _ev: finish_stamp.setdefault("t", env.now))
     env.run()
     if not done.triggered:
-        # Surface which ranks are stuck to make model bugs debuggable.
-        stuck = [p.name for p in procs if not p.triggered]
+        # Surface which ranks are stuck *and what each is waiting on* to
+        # make model bugs debuggable.
         from ..errors import DeadlockError
+        from ..sim import blocked_report
 
-        raise DeadlockError(f"job {name!r}: ranks never finished: {stuck[:8]}"
-                            f"{'...' if len(stuck) > 8 else ''}")
+        stuck = [p for p in procs if not p.triggered]
+        raise DeadlockError(
+            f"job {name!r}: {len(stuck)} of {nprocs} ranks never finished:\n"
+            + blocked_report(stuck[:8])
+            + ("\n  ..." if len(stuck) > 8 else ""))
     metrics = JobMetrics.from_rank_clocks(clocks, bytes_total)
     return JobResult(
         nprocs=nprocs,

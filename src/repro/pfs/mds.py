@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, Generator, Optional
 
-from ..errors import ConfigError
+from ..errors import ConfigError, MDSUnavailable
 from ..sim import Engine, FairShareServer
 from .config import PfsConfig
 
@@ -32,7 +32,16 @@ _DIR_MUTATING = frozenset({"create", "mkdir", "unlink", "rmdir", "rename"})
 
 
 class MetadataServer:
-    """One metadata server (one per volume; federation = several volumes)."""
+    """One metadata server (one per volume; federation = several volumes).
+
+    Fault hooks (driven by ``repro.faults``): :meth:`crash` drops every
+    queued op with :class:`MDSUnavailable` and rejects new ones;
+    :meth:`failover` promotes a standby — a *fresh* fair-share server with
+    cold per-directory state — after the plan's detection+promotion delay.
+    Clients see queued ops fail at crash time and re-submitted ops fail
+    fast until the standby is up, which is what their retry/backoff loops
+    ride out.
+    """
 
     def __init__(self, env: Engine, cfg: PfsConfig, name: str = "mds"):
         self.env = env
@@ -42,6 +51,35 @@ class MetadataServer:
         self._dir_servers: Dict[int, FairShareServer] = {}
         self._dir_inflight: Dict[int, int] = {}
         self.op_counts: Dict[str, int] = {}
+        self.down = False
+        self.failovers = 0
+        self.dropped_ops = 0
+
+    # -- fault hooks -------------------------------------------------------
+    def crash(self) -> int:
+        """Crash the active MDS: drop queued ops, reject new ones.
+
+        Returns the number of in-flight ops dropped.
+        """
+        if self.down:
+            return 0
+        self.down = True
+        make_exc = lambda: MDSUnavailable(self.name, f"MDS {self.name!r} crashed")
+        dropped = self.server.fail_all(make_exc)
+        for srv in self._dir_servers.values():
+            dropped += srv.fail_all(make_exc)
+        self.dropped_ops += dropped
+        return dropped
+
+    def failover(self) -> None:
+        """Promote the standby: fresh service queues, cold directory state."""
+        if not self.down:
+            return
+        self.down = False
+        self.failovers += 1
+        self.server = FairShareServer(self.env, self.cfg.mds_ops_per_sec,
+                                      name=f"{self.name}.srv+{self.failovers}")
+        self._dir_servers.clear()
 
     def _dir_server(self, dir_uid: int) -> FairShareServer:
         srv = self._dir_servers.get(dir_uid)
@@ -66,8 +104,13 @@ class MetadataServer:
             raise ConfigError(f"unknown metadata op {kind!r}")
         if count <= 0:
             raise ConfigError(f"op count must be > 0, got {count}")
+        if self.down:
+            raise MDSUnavailable(self.name, f"MDS {self.name!r} is down")
         self.op_counts[kind] = self.op_counts.get(kind, 0) + int(round(count))
         yield self.env.timeout(self.cfg.mds_latency)
+        if self.down:
+            # Crashed while the request was on the wire.
+            raise MDSUnavailable(self.name, f"MDS {self.name!r} crashed mid-op")
         demand = cost * count
         if dir_uid is not None and kind in _DIR_MUTATING:
             if self.cfg.dir_degradation_entries > 0:

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from ..errors import ConfigError
+from ..errors import ConfigError, StorageUnavailable
 from ..sim import Engine, Event, FairShareServer
 from .config import PfsConfig
 
@@ -25,19 +25,59 @@ __all__ = ["Osd", "OsdPool", "stripe_lanes"]
 
 
 class Osd:
-    """One object storage device."""
+    """One object storage device.
+
+    Fault hooks (driven by ``repro.faults``): :meth:`fail` marks the device
+    down — new requests raise :class:`StorageUnavailable` and in-flight ones
+    stall frozen until :meth:`restore` — and :meth:`slow_down` rescales the
+    device's service rate (a brown-out).  An untouched OSD has bit-identical
+    behaviour to one built before these hooks existed.
+    """
 
     def __init__(self, env: Engine, cfg: PfsConfig, index: int):
         self.env = env
         self.cfg = cfg
         self.index = index
         self.server = FairShareServer(env, cfg.osd_bw, name=f"osd{index}")
+        self.down = False
+        self.fail_count = 0
         self._last_end: Dict[int, int] = {}  # object uid -> end of previous access
         self._last_client: Dict[int, int] = {}  # object uid -> previous client
         self.requests = 0
         self.seeks = 0
         self.stream_switches = 0
         self.bytes_moved = 0
+
+    # -- fault hooks -------------------------------------------------------
+    def fail(self) -> None:
+        """Take the device down: reject new I/O, freeze in-flight service."""
+        if self.down:
+            return
+        self.down = True
+        self.fail_count += 1
+        self.server.pause()
+
+    def restore(self) -> None:
+        """Bring the device back; frozen in-flight requests resume."""
+        if not self.down:
+            return
+        self.down = False
+        self.server.resume()
+
+    def slow_down(self, factor: float) -> None:
+        """Degrade the device to ``1/factor`` of configured bandwidth."""
+        if not (factor >= 1.0):
+            raise ConfigError(f"slow_down factor must be >= 1, got {factor}")
+        self.server.set_capacity(self.cfg.osd_bw / factor)
+
+    def restore_speed(self) -> None:
+        """Undo :meth:`slow_down`."""
+        self.server.set_capacity(self.cfg.osd_bw)
+
+    def _check_up(self) -> None:
+        if self.down:
+            raise StorageUnavailable(
+                f"osd{self.index}", f"OSD {self.index} is down")
 
     def _demand(self, obj_uid: int, offset: int, nbytes: int, ops: int,
                 seek_mult: float, client_id, is_read: bool) -> float:
@@ -75,6 +115,7 @@ class Osd:
         """
         if nbytes < 0 or ops < 1 or inflate < 1.0 or seek_mult < 1.0:
             raise ConfigError(f"bad OSD request ({nbytes}, {ops}, {inflate}, {seek_mult})")
+        self._check_up()
         base = self._demand(obj_uid, offset, nbytes, ops, seek_mult, client_id, is_read)
         extra = (inflate - 1.0) * nbytes
         return self.server.serve(base + extra)
@@ -93,6 +134,7 @@ class Osd:
         """
         if ops < 1 or inflate < 1.0 or seek_mult < 1.0:
             raise ConfigError(f"bad OSD batch ({ops}, {inflate}, {seek_mult})")
+        self._check_up()
         demands = []
         for obj_uid, offset, nbytes in requests:
             if nbytes < 0:

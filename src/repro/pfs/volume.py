@@ -17,7 +17,8 @@ from dataclasses import dataclass
 from typing import Generator, List, Optional, Sequence
 
 from ..cluster import Cluster, Node
-from ..errors import BadFileHandle, FileNotFound, InvalidArgument, PermissionDenied
+from ..errors import (BadFileHandle, FileNotFound, InvalidArgument,
+                      PermissionDenied, StorageUnavailable)
 from ..sim import Engine
 from .config import PfsConfig
 from .data import DataSpec, DataView
@@ -123,7 +124,8 @@ class FileHandle:
                 if offset % cfg.full_stripe or length % cfg.full_stripe:
                     inflate = cfg.rmw_factor
                     seek_mult = 2.0  # the RMW's reads and writes each position
-            yield vol.env.timeout(vol.storage_latency)
+            vol.storage_net._check_up()
+            yield vol.env.timeout(vol.storage_latency + vol.storage_net.extra_latency)
             events = vol.pool.io_events(uid, offset, length, inflate=inflate,
                                         seek_mult=seek_mult)
             events += vol.storage_net.path_events(self.client.node, length)
@@ -162,7 +164,8 @@ class FileHandle:
         if hit:
             yield vol.env.timeout(hit / self.client.node.spec.mem_bw)
         if miss > 0:
-            yield vol.env.timeout(vol.storage_latency)
+            vol.storage_net._check_up()
+            yield vol.env.timeout(vol.storage_latency + vol.storage_net.extra_latency)
             events = vol.pool.io_events(uid, offset + hit, miss,
                                         client_id=self.client.client_id,
                                         is_read=True)
@@ -318,6 +321,16 @@ class Volume:
             if node.is_dir:
                 raise InvalidArgument("bulk_read_files of a directory")
         cfg = self.cfg
+        # Degraded-mode gate: the bulk path charges OSD servers directly
+        # (bypassing Osd.io), so check device health here, and do it before
+        # the in-flight registration below — raising after registering would
+        # leave joiners waiting on an event that never fires.
+        self.storage_net._check_up()
+        for osd in self.pool.osds:
+            if osd.down:
+                raise StorageUnavailable(
+                    f"osd{osd.index}",
+                    f"OSD {osd.index} is down (bulk read)")
         # Partition into page-cache hits, fetches already in flight from
         # this node (read coalescing), and genuine misses — registered
         # before any time is charged so concurrent callers see each other.
@@ -350,7 +363,8 @@ class Volume:
             yield self.env.timeout(hit_bytes / client.node.spec.mem_bw)
         if misses:
             total = sum(n.data.size for n in misses)
-            yield self.env.timeout(self.storage_latency)
+            yield self.env.timeout(self.storage_latency
+                                   + self.storage_net.extra_latency)
             n_osds = cfg.n_osds
             overhead = (cfg.osd_seek_time + cfg.osd_op_overhead) * cfg.osd_bw
             if len(misses) >= 2 * n_osds:

@@ -34,7 +34,8 @@ from __future__ import annotations
 import math
 from typing import Dict, Generator, List, Optional, Tuple
 
-from ..errors import PLFSError
+from ..errors import PartialViewError, PLFSError, TransientIOError
+from ..faults.policies import RetryPolicy, retrying
 from ..pfs.volume import Client, Volume
 from .config import PlfsConfig
 from .container import ContainerLayout
@@ -44,6 +45,7 @@ __all__ = [
     "list_index_logs",
     "aggregate_original",
     "aggregate_parallel",
+    "aggregate_resilient",
     "read_flattened_index",
     "flatten_on_close",
     "MERGE_COST_PER_RECORD",
@@ -155,6 +157,65 @@ def _charge_only(layout: ContainerLayout, client: Client,
     for group in by_volume.values():
         vol = group[0][0]
         yield from vol.bulk_read_files(client, [path for _, path, _, _ in group])
+
+
+def aggregate_resilient(layout: ContainerLayout, client: Client,
+                        retry: RetryPolicy) -> Generator:
+    """Original aggregation under a retry policy (independent opens only).
+
+    Each per-volume index-log batch is retried under *retry*; a batch that
+    stays unreachable past the policy's bounds is *skipped* and its writers
+    recorded, and the open fails with :class:`PartialViewError` naming
+    every missing writer — a diagnosable partial view instead of a hang or
+    a bare EIO mid-merge.  Collective aggregation cannot do this (one
+    rank's exception would strand the others at the next collective), which
+    is why :meth:`PlfsMount.open_read` routes only ``comm=None`` here.
+
+    No memoization: a degraded-mode read's outcome depends on fault timing,
+    not just container state, so caching would alias distinct outcomes.
+    """
+    env = layout.home_volume.env
+    # Enumerate per subdir so one unreachable volume cannot abort the whole
+    # open: its subdir is recorded (the writers there are unknowable without
+    # the readdir) and the remaining subdirs still contribute.
+    entries: List[IndexLogEntry] = []
+    missing_subdirs: List[int] = []
+    for s in range(layout.cfg.n_subdirs):
+        vol = layout.subdir_volume(s)
+        path = layout.subdir_path(s)
+        if not vol.ns.exists(path):
+            continue
+        try:
+            names = yield from retrying(
+                env, retry, lambda v=vol, p=path: v.readdir(client, p))
+        except TransientIOError:
+            missing_subdirs.append(s)
+            continue
+        for name in names:
+            parsed = _parse_index_log_name(name)
+            if parsed is not None:
+                node_id, writer_id = parsed
+                entries.append((vol, f"{path}/{name}", writer_id, node_id))
+    by_volume: Dict[int, List[IndexLogEntry]] = {}
+    for e in entries:
+        by_volume.setdefault(id(e[0]), []).append(e)
+    merged = GlobalIndex()
+    missing: List[int] = []
+    for group in by_volume.values():
+        vol = group[0][0]
+        paths = [path for _, path, _, _ in group]
+        try:
+            views = yield from retrying(
+                env, retry, lambda v=vol, p=paths: v.bulk_read_files(client, p))
+        except TransientIOError:
+            missing.extend(writer_id for _, _, writer_id, _ in group)
+            continue
+        for (_, _, writer_id, node_id), view in zip(group, views):
+            merged.merge(WriterIndex.parse(view, writer_id, node_id))
+    yield env.timeout(len(merged.journal) * MERGE_COST_PER_RECORD)
+    if missing or missing_subdirs:
+        raise PartialViewError(layout.path, missing, missing_subdirs)
+    return merged
 
 
 def aggregate_parallel(layout: ContainerLayout, client: Client, comm,

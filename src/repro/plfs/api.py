@@ -21,11 +21,13 @@ from __future__ import annotations
 from typing import Generator, List, Optional, Sequence
 
 from ..errors import FileExists, FileNotFound, PLFSError, UnsupportedOperation
+from ..faults.policies import RetryPolicy, retrying
 from ..pfs.volume import Client, Stat, Volume
 from ..sim import Engine
 from .aggregation import (
     aggregate_original,
     aggregate_parallel,
+    aggregate_resilient,
     flatten_on_close,
     read_flattened_index,
 )
@@ -58,14 +60,17 @@ class PlfsMount:
 
     # -- write side ---------------------------------------------------------
     def open_write(self, client: Client, path: str, comm=None, *,
-                   mode: str = "w", truncate: bool = False) -> Generator:
+                   mode: str = "w", truncate: bool = False,
+                   retry: RetryPolicy = None) -> Generator:
         """Open a logical file for writing; returns a :class:`PlfsWriteHandle`.
 
         Collective when *comm* is given: rank 0 creates the container and
         the rest wait (one skeleton creation per job, like the ADIO
         driver).  Independent otherwise: first writer wins the create race.
         ``truncate`` gives O_TRUNC semantics: the logical file is emptied
-        (all existing droppings removed) before writing begins.
+        (all existing droppings removed) before writing begins.  *retry*
+        makes the open and every subsequent write on the handle survive
+        transient storage faults (see :mod:`repro.faults.policies`).
         """
         if mode != "w":
             raise UnsupportedOperation(
@@ -74,16 +79,18 @@ class PlfsMount:
         if comm is not None and comm.size > 1:
             if comm.rank == 0:
                 existed = layout.exists()
-                yield from layout.ensure_skeleton(client)
+                yield from retrying(self.env, retry,
+                                    lambda: layout.ensure_skeleton(client))
                 if truncate and existed:
                     yield from layout.truncate(client)
             yield from comm.bcast(None, nbytes=8, root=0)
         else:
             existed = layout.exists()
-            yield from layout.ensure_skeleton(client)
+            yield from retrying(self.env, retry,
+                                lambda: layout.ensure_skeleton(client))
             if truncate and existed:
                 yield from layout.truncate(client)
-        handle = yield from open_write_handle(layout, client)
+        handle = yield from open_write_handle(layout, client, retry=retry)
         if truncate:
             self._index_cache = {k: v for k, v in self._index_cache.items()
                                  if k[0] != layout.path}
@@ -102,14 +109,26 @@ class PlfsMount:
         return flattened
 
     # -- read side -----------------------------------------------------------
-    def open_read(self, client: Client, path: str, comm=None) -> Generator:
+    def open_read(self, client: Client, path: str, comm=None, *,
+                  retry: RetryPolicy = None) -> Generator:
         """Open for reading: aggregate the global index per the configured
-        strategy, then hand back a :class:`PlfsReadHandle`."""
+        strategy, then hand back a :class:`PlfsReadHandle`.
+
+        With *retry* set and ``comm=None``, aggregation runs in resilient
+        mode: unreachable index logs are skipped and reported as a
+        :class:`~repro.errors.PartialViewError` naming the missing writers
+        instead of hanging.  Collective opens ignore *retry* during
+        aggregation (a per-rank exception would strand the other ranks at
+        the next collective) but reads on the returned handle still retry.
+        """
         layout = self.layout(path)
         if not layout.exists():
             raise FileNotFound(path)
         strategy = self.cfg.aggregation
         gi: Optional[GlobalIndex] = None
+        if retry is not None and comm is None:
+            gi = yield from aggregate_resilient(layout, client, retry)
+            return PlfsReadHandle(layout, client, gi, retry=retry)
         if strategy == "flatten":
             gi = yield from read_flattened_index(layout, client, comm)
         if gi is None:
@@ -117,7 +136,7 @@ class PlfsMount:
                 gi = yield from aggregate_parallel(layout, client, comm, self.cfg)
             else:
                 gi = yield from aggregate_original(layout, client, self._index_cache)
-        return PlfsReadHandle(layout, client, gi)
+        return PlfsReadHandle(layout, client, gi, retry=retry)
 
     # -- namespace / metadata --------------------------------------------------
     def create(self, client: Client, path: str, *, exclusive: bool = False) -> Generator:

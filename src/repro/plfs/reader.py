@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict, Generator
 
 from ..errors import BadFileHandle, InvalidArgument, PLFSError
+from ..faults.policies import RetryPolicy, retrying
 from ..pfs.data import DataView, ZeroData
 from ..pfs.extents import HOLE
 from ..pfs.volume import Client, FileHandle
@@ -27,10 +28,11 @@ class PlfsReadHandle:
     """One reader's open-for-read state on a PLFS logical file."""
 
     def __init__(self, layout: ContainerLayout, client: Client,
-                 global_index: GlobalIndex):
+                 global_index: GlobalIndex, retry: RetryPolicy = None):
         self.layout = layout
         self.client = client
         self.global_index = global_index
+        self.retry = retry
         self._logs: Dict[int, FileHandle] = {}
         self.closed = False
         self.bytes_read = 0
@@ -48,7 +50,8 @@ class PlfsReadHandle:
             s = self.layout.subdir_for_writer(node_id)
             vol = self.layout.subdir_volume(s)
             path = self.layout.data_log_path(node_id, writer_id)
-            fh = yield from vol.open(self.client, path, "r")
+            fh = yield from retrying(vol.env, self.retry,
+                                     lambda: vol.open(self.client, path, "r"))
             self._logs[writer_id] = fh
         return fh
 
@@ -68,7 +71,8 @@ class PlfsReadHandle:
                 pieces.append(ZeroData(n))
                 continue
             fh = yield from self._log_handle(writer)
-            view = yield from fh.read(phys, n)
+            view = yield from retrying(fh.volume.env, self.retry,
+                                       lambda: fh.read(phys, n))
             if view.length != n:
                 raise PLFSError(
                     f"data log for writer {writer} shorter than its index "
@@ -81,6 +85,6 @@ class PlfsReadHandle:
         if self.closed:
             raise BadFileHandle(self.layout.path)
         for fh in self._logs.values():
-            yield from fh.close()
+            yield from retrying(fh.volume.env, self.retry, lambda: fh.close())
         self._logs.clear()
         self.closed = True

@@ -13,7 +13,8 @@ from __future__ import annotations
 
 from typing import Generator
 
-from ..errors import BadFileHandle, InvalidArgument
+from ..errors import BadFileHandle, FileNotFound, InvalidArgument
+from ..faults.policies import RetryPolicy, retrying
 from ..pfs.data import DataSpec
 from ..pfs.volume import Client, FileHandle
 from .container import ContainerLayout, meta_dropping_name, openhost_name
@@ -36,27 +37,34 @@ def _host_registry(home) -> dict:
     return reg
 
 
-def open_write_handle(layout: ContainerLayout, client: Client) -> Generator:
+def open_write_handle(layout: ContainerLayout, client: Client,
+                      retry: RetryPolicy = None) -> Generator:
     """Per-writer open: ensure the subdir, create data+index logs, mark host.
 
     The container skeleton must already exist (see
     :meth:`PlfsMount.open_write` / :meth:`ContainerLayout.ensure_skeleton`).
-    Returns a :class:`PlfsWriteHandle`.
+    Returns a :class:`PlfsWriteHandle`.  Each constituent metadata op is
+    individually retried under *retry* — safe because the volume charges
+    an op's time *before* mutating the namespace, so a failed attempt
+    leaves nothing behind.
     """
+    env = layout.home_volume.env
     node_id = client.node.id
     writer_id = client.client_id
     s = layout.subdir_for_writer(node_id)
-    yield from layout.ensure_subdir(client, s)
+    yield from retrying(env, retry, lambda: layout.ensure_subdir(client, s))
     vol = layout.subdir_volume(s)
     # Dropping names are per-open, like real PLFS's host.pid.timestamp: a
     # client re-opening the same logical file (append after close) gets a
     # fresh dropping pair rather than clobbering its earlier logs.
     while vol.ns.exists(layout.data_log_path(node_id, writer_id)):
         writer_id += 1_000_003
-    data_fh = yield from vol.open(client, layout.data_log_path(node_id, writer_id),
-                                  "w", create=True, truncate=True)
-    index_fh = yield from vol.open(client, layout.index_log_path(node_id, writer_id),
-                                   "w", create=True, truncate=True)
+    data_path = layout.data_log_path(node_id, writer_id)
+    index_path = layout.index_log_path(node_id, writer_id)
+    data_fh = yield from retrying(env, retry, lambda: vol.open(
+        client, data_path, "w", create=True, truncate=True))
+    index_fh = yield from retrying(env, retry, lambda: vol.open(
+        client, index_path, "w", create=True, truncate=True))
     # Openhosts dropping marks this *host* as live (first writer creates it).
     home = layout.home_volume
     reg = _host_registry(home)
@@ -65,9 +73,11 @@ def open_write_handle(layout: ContainerLayout, client: Client) -> Generator:
     entry[0] += 1
     if entry[0] == 1:
         oh_path = f"{layout.openhosts_path}/{openhost_name(node_id)}"
-        oh = yield from home.open(client, oh_path, "w", create=True)
+        oh = yield from retrying(env, retry, lambda: home.open(
+            client, oh_path, "w", create=True))
         yield from oh.close()
-    return PlfsWriteHandle(layout, client, data_fh, index_fh, writer_id=writer_id)
+    return PlfsWriteHandle(layout, client, data_fh, index_fh,
+                           writer_id=writer_id, retry=retry)
 
 
 class PlfsWriteHandle:
@@ -75,11 +85,12 @@ class PlfsWriteHandle:
 
     def __init__(self, layout: ContainerLayout, client: Client,
                  data_fh: FileHandle, index_fh: FileHandle,
-                 writer_id: int = None):
+                 writer_id: int = None, retry: RetryPolicy = None):
         self.layout = layout
         self.client = client
         self.data_fh = data_fh
         self.index_fh = index_fh
+        self.retry = retry
         if writer_id is None:
             writer_id = client.client_id
         self.index = WriterIndex(writer_id=writer_id, node_id=client.node.id,
@@ -100,7 +111,11 @@ class PlfsWriteHandle:
             raise InvalidArgument(self.layout.path, f"negative offset {offset}")
         if spec.length == 0:
             return
-        physical = yield from self.data_fh.append(spec)
+        # A retried append may leave an unindexed first copy in the log
+        # (dead space); the index records only the acknowledged copy, so
+        # logical content is unchanged — retransmission semantics.
+        physical = yield from retrying(self.env, self.retry,
+                                       lambda: self.data_fh.append(spec))
         self.index.record(offset, spec.length, physical, stamp=self.env.now)
         self.bytes_written += spec.length
         spill = self.layout.cfg.index_spill_records
@@ -112,7 +127,8 @@ class PlfsWriteHandle:
         hi = len(self.index)
         if hi > self._spilled_records:
             chunk = self.index.serialize_range(self._spilled_records, hi)
-            yield from self.index_fh.append(chunk)
+            yield from retrying(self.env, self.retry,
+                                lambda: self.index_fh.append(chunk))
             self._spilled_records = hi
             self.index.seal()
 
@@ -144,8 +160,8 @@ class PlfsWriteHandle:
         if self.closed:
             raise BadFileHandle(self.layout.path)
         yield from self._spill_index()
-        yield from self.index_fh.close()
-        yield from self.data_fh.close()
+        yield from retrying(self.env, self.retry, lambda: self.index_fh.close())
+        yield from retrying(self.env, self.retry, lambda: self.data_fh.close())
         yield from self._drop_metadata()
         self.closed = True
 
@@ -156,17 +172,31 @@ class PlfsWriteHandle:
         client = self.client
         node_id = client.node.id
         reg = _host_registry(home)
-        entry = reg[(self.layout.path, node_id)]
+        key = (self.layout.path, node_id)
+        entry = reg[key]
         entry[0] -= 1
         entry[1] = max(entry[1], self.eof)
         entry[2] += len(self.index)
-        if entry[0] == 0:
-            # Last closer on this host: drop the host's metadata (the name
-            # alone carries eof/records) and clear the openhost mark.
-            name = meta_dropping_name(entry[1], entry[2], node_id, 0)
-            meta = yield from home.open(client, f"{self.layout.meta_path}/{name}",
-                                        "w", create=True)
-            yield from meta.close()
-            oh_path = f"{self.layout.openhosts_path}/{openhost_name(node_id)}"
-            yield from home.unlink(client, oh_path)
-            del reg[(self.layout.path, node_id)]
+        if entry[0] != 0:
+            return
+        # Last live writer on this host *right now*: retire the registry
+        # entry atomically with the zero check (no yields in between), so a
+        # writer re-opening while this close's metadata ops are in flight
+        # starts a fresh host generation instead of racing this one's
+        # refcount.  The dropping name alone carries eof/records.
+        del reg[key]
+        name = meta_dropping_name(entry[1], entry[2], node_id, 0)
+        meta_path = f"{self.layout.meta_path}/{name}"
+        meta = yield from retrying(self.env, self.retry, lambda: home.open(
+            client, meta_path, "w", create=True))
+        yield from retrying(self.env, self.retry, lambda: meta.close())
+        if key in reg:
+            # A new generation opened while the dropping was being written:
+            # the host is live again and its openhost mark must survive.
+            return
+        oh_path = f"{self.layout.openhosts_path}/{openhost_name(node_id)}"
+        try:
+            yield from retrying(self.env, self.retry,
+                                lambda: home.unlink(client, oh_path))
+        except FileNotFound:
+            pass  # a racing generation's closer already cleared the mark

@@ -1,6 +1,7 @@
 """Discrete-event simulation kernel (engine, resources, measurement)."""
 
-from .engine import AllOf, AnyOf, Engine, Event, Process, Timeout
+from .engine import (AllOf, AnyOf, Engine, Event, Process, Timeout,
+                     blocked_report, describe_event)
 from .probes import BandwidthProbe, summarize_probe
 from .resources import FairShareServer, Mutex, Resource, Store
 from .stats import JobMetrics, PhaseClock, Summary, summarize
@@ -12,6 +13,8 @@ __all__ = [
     "Event",
     "Process",
     "Timeout",
+    "blocked_report",
+    "describe_event",
     "BandwidthProbe",
     "summarize_probe",
     "FairShareServer",

@@ -48,6 +48,8 @@ __all__ = [
     "Process",
     "AllOf",
     "AnyOf",
+    "describe_event",
+    "blocked_report",
 ]
 
 _PENDING = object()  # sentinel: event value not yet set
@@ -216,7 +218,7 @@ class Process(Event):
     (65,536-rank jobs allocate 65,536 fewer events and callback attaches).
     """
 
-    __slots__ = ("_gen", "name", "_started", "_rcb")
+    __slots__ = ("_gen", "name", "_started", "_rcb", "_waiting")
 
     def __init__(self, env: "Engine", gen: Generator, name: str = ""):
         if not hasattr(gen, "send"):
@@ -229,6 +231,7 @@ class Process(Event):
         self.name = name or getattr(gen, "__name__", "process")
         self._started = False
         self._rcb = self._resume  # one bound method, reused for every yield
+        self._waiting: Optional[Event] = None
         env._eid += 1
         if not self.daemon:
             env._live += 1
@@ -238,6 +241,15 @@ class Process(Event):
     def alive(self) -> bool:
         """True while the generator has not finished."""
         return not self.triggered
+
+    @property
+    def waiting_on(self) -> Optional[Event]:
+        """The event this process is currently blocked on (None if runnable/done).
+
+        This is what :func:`blocked_report` reads to turn a deadlock into an
+        actionable message instead of a bare "queue drained".
+        """
+        return self._waiting
 
     def _resume(self, event: Any) -> None:
         """Advance the generator; loop inline over already-triggered yields."""
@@ -275,10 +287,12 @@ class Process(Event):
                 cbs.append(self._rcb)
             else:
                 target.callbacks = [cbs, self._rcb]
+            self._waiting = target
             return
 
     def _finish(self) -> None:
         """Schedule this process's completion for the current instant."""
+        self._waiting = None
         env = self.env
         env._eid += 1
         if not self.daemon:
@@ -360,6 +374,49 @@ class AnyOf(Event):
             self.fail(event._exc)
         else:
             self.succeed(event._value)
+
+
+def describe_event(ev: Optional[Event], depth: int = 1) -> str:
+    """One-line human description of what waiting on *ev* means.
+
+    Used by deadlock reports.  Recurses *depth* levels into composite
+    events (``AllOf``/``AnyOf``) so "blocked on all_of" becomes "blocked on
+    the 3 unfinished children of an all_of", which is what actually
+    identifies a stuck fault-injection run.
+    """
+    if ev is None:
+        return "nothing (runnable or never started)"
+    server = getattr(ev, "server", None)
+    if server is not None:  # a FairShareServer completion (see resources.py)
+        state = "PAUSED" if getattr(server, "_paused", False) else f"{server.active} active"
+        return (f"service by FairShareServer {server.name or '<unnamed>'!r} "
+                f"({state}, capacity {server.capacity:g})")
+    if isinstance(ev, Process):
+        inner = ""
+        if depth > 0 and ev._waiting is not None:
+            inner = f" (itself waiting on {describe_event(ev._waiting, depth - 1)})"
+        return f"process {ev.name!r}{inner}"
+    if isinstance(ev, AllOf):
+        pending = [c for c in ev._events if not c._processed]
+        inner = ""
+        if depth > 0 and pending:
+            inner = ", first: " + describe_event(pending[0], depth - 1)
+        return f"all_of with {len(pending)}/{len(ev._events)} children pending{inner}"
+    if isinstance(ev, AnyOf):
+        return f"any_of over {len(ev._events)} events, none fired"
+    if isinstance(ev, Timeout):
+        return "a timeout that never fired (scheduled past the run horizon?)"
+    return f"{type(ev).__name__} at {id(ev):#x}"
+
+
+def blocked_report(procs: Iterable[Process]) -> str:
+    """Multi-line report naming each blocked process and what it waits on."""
+    lines = []
+    for proc in procs:
+        if proc.triggered:
+            continue
+        lines.append(f"  - {proc.name}: waiting on {describe_event(proc._waiting)}")
+    return "\n".join(lines) if lines else "  (no blocked processes tracked)"
 
 
 class Engine:
@@ -555,5 +612,7 @@ class Engine:
         proc = self.process(gen, name)
         self.run()
         if not proc.triggered:
-            raise DeadlockError(f"event queue drained with {proc!r} still blocked")
+            raise DeadlockError(
+                f"event queue drained at t={self._now:g} with blocked processes:\n"
+                + blocked_report([proc]))
         return proc.value

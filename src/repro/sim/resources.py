@@ -97,6 +97,17 @@ class Mutex(Resource):
         super().__init__(env, 1, name)
 
 
+class _ServeEvent(Event):
+    """Completion event of a :class:`FairShareServer` job.
+
+    Carries a back-reference to its server so deadlock reports
+    (:func:`repro.sim.engine.describe_event`) can name the resource a stuck
+    process is queued on — and whether that server is paused.
+    """
+
+    __slots__ = ("server",)
+
+
 class FairShareServer:
     """Generalized processor sharing over a fixed capacity.
 
@@ -109,6 +120,13 @@ class FairShareServer:
     finishes when ``V == V(t0) + d``, so completions are just a min-heap on
     virtual finish times, and arrivals/departures only change the growth
     rate of ``V``.
+
+    Degraded modes (driven by ``repro.faults``): :meth:`set_capacity`
+    rescales service speed mid-run, :meth:`pause`/:meth:`resume` freeze and
+    thaw all in-flight jobs (an unresponsive-but-alive component), and
+    :meth:`fail_all` errors every in-flight job out (a crash that drops its
+    queue).  All four keep the virtual-time bookkeeping exact, so a run
+    with no faults injected is bit-identical to one built without hooks.
     """
 
     def __init__(self, env: Engine, capacity: float, name: str = ""):
@@ -124,6 +142,7 @@ class FairShareServer:
         self._timer_seq = 0  # invalidates stale completion timers
         self._deadline = float("inf")  # wall time the earliest finish completes
         self._armed_at = float("inf")  # wall time the live timer event targets
+        self._paused = False  # frozen: in-flight jobs make no progress
         # Stats.
         self.total_served = 0.0
         self.peak_active = 0
@@ -134,21 +153,87 @@ class FairShareServer:
         """Jobs currently in service."""
         return len(self._jobs)
 
+    @property
+    def paused(self) -> bool:
+        """True while service is frozen (see :meth:`pause`)."""
+        return self._paused
+
     def _advance(self) -> None:
         """Advance virtual time to `env.now`."""
         now = self.env.now
-        if self._jobs:
+        if self._jobs and not self._paused:
             dt = now - self._t_last
             if dt > 0:
                 self._vtime += dt * self.capacity / len(self._jobs)
                 self.busy_time += dt
         self._t_last = now
 
+    def _invalidate_timer(self) -> None:
+        """Forget the armed completion timer (it becomes a no-op when it fires)."""
+        self._timer_seq += 1
+        self._armed_at = float("inf")
+
+    def set_capacity(self, capacity: float) -> None:
+        """Rescale service speed; in-flight jobs keep their remaining demand.
+
+        Models brown-out faults (a slow disk, a throttled link).  Virtual
+        time is settled at the old rate first, so work already delivered is
+        unaffected; only the remaining demand is served at the new rate.
+        """
+        if not (capacity > 0):
+            raise SimulationError(f"FairShareServer capacity must be > 0, got {capacity}")
+        self._advance()
+        self.capacity = float(capacity)
+        # The armed timer's deadline was computed at the old rate.  If the
+        # new deadline is earlier, _reschedule arms a fresh timer; if later,
+        # the old timer fires early and chains — but chaining trusts
+        # _deadline, which _reschedule recomputes below.  Either way no
+        # stale completion can fire.
+        if not self._paused:
+            self._reschedule()
+
+    def pause(self) -> None:
+        """Freeze service: in-flight jobs stop progressing until :meth:`resume`.
+
+        Models an unresponsive component whose queue survives (e.g. a hung
+        OSD that will come back).  Idempotent.
+        """
+        if self._paused:
+            return
+        self._advance()
+        self._paused = True
+        self._deadline = float("inf")
+        self._invalidate_timer()
+
+    def resume(self) -> None:
+        """Thaw a paused server; remaining demand resumes at full rate."""
+        if not self._paused:
+            return
+        self._paused = False
+        self._t_last = self.env.now
+        self._reschedule()
+
+    def fail_all(self, make_exc) -> int:
+        """Fail every in-flight job with ``make_exc()``; returns the count.
+
+        Models a crash that drops its queue (e.g. an MDS losing queued ops).
+        The server itself stays usable — new ``serve`` calls proceed — so a
+        failover can repopulate it.
+        """
+        self._advance()
+        jobs, self._jobs = self._jobs, []
+        self._deadline = float("inf")
+        self._invalidate_timer()
+        for _, _, ev in jobs:
+            ev.fail(make_exc())
+        return len(jobs)
+
     def serve(self, demand: float) -> Event:
         """Submit *demand* units of work; returns the completion event."""
         if demand < 0:
             raise SimulationError(f"negative demand {demand!r}")
-        ev = Event(self.env)
+        ev = _ServeEvent(self.env)
+        ev.server = self
         if demand == 0:
             ev.succeed()
             return ev
@@ -181,7 +266,8 @@ class FairShareServer:
         for demand in demands:
             if demand < 0:
                 raise SimulationError(f"negative demand {demand!r}")
-            ev = Event(env)
+            ev = _ServeEvent(env)
+            ev.server = self
             events.append(ev)
             if demand == 0:
                 ev.succeed()
@@ -216,6 +302,8 @@ class FairShareServer:
         (``Engine.schedule_at``), completion timestamps are bit-for-bit what
         per-arrival re-arming would produce.
         """
+        if self._paused:
+            return  # deadline stays inf; resume() reschedules
         if not self._jobs:
             self._deadline = float("inf")
             return

@@ -15,10 +15,12 @@ byte-exactly without the framework shipping real buffers around.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Generator, Iterator, List, Optional, Tuple
 
 from ..errors import ConfigError
+from ..faults.policies import RetryPolicy
 from ..harness.setup import World
 from ..mpi import run_job
 from ..mpiio import ADIODriver, Hints, MPIFile, PlfsDriver, UfsDriver
@@ -40,15 +42,19 @@ class IOStack:
     hints: Hints = field(default_factory=Hints)
 
 
-def direct_stack(world: World, hints: Hints = None) -> IOStack:
+def direct_stack(world: World, hints: Hints = None,
+                 retry: RetryPolicy = None) -> IOStack:
     """Direct access to the underlying parallel file system ('W/O PLFS')."""
-    return IOStack(name="direct", make_driver=lambda: UfsDriver(world.volume),
+    return IOStack(name="direct",
+                   make_driver=lambda: UfsDriver(world.volume, retry=retry),
                    hints=hints or Hints())
 
 
-def plfs_stack(world: World, hints: Hints = None) -> IOStack:
+def plfs_stack(world: World, hints: Hints = None,
+               retry: RetryPolicy = None) -> IOStack:
     """Access through the PLFS middleware's ADIO driver."""
-    return IOStack(name="plfs", make_driver=lambda: PlfsDriver(world.mount),
+    return IOStack(name="plfs",
+                   make_driver=lambda: PlfsDriver(world.mount, retry=retry),
                    hints=hints or Hints())
 
 
@@ -74,8 +80,13 @@ class Workload:
         return f"/wl/{self.name}.{rank}"
 
     def seed(self, rank: int) -> int:
-        """Deterministic content seed for one rank's pattern stream."""
-        return hash((self.name, rank)) & 0x7FFFFFFF
+        """Deterministic content seed for one rank's pattern stream.
+
+        ``crc32``, not ``hash()``: string hashing is salted per process,
+        and content seeds must agree between a write run and a read run
+        that may live in different harness worker processes.
+        """
+        return zlib.crc32(f"{self.name}:{rank}".encode("utf-8")) & 0x7FFFFFFF
 
     # -- plans --------------------------------------------------------------------
     def write_rounds(self, rank: int) -> Iterator[List[Extent]]:

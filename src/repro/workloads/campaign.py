@@ -21,11 +21,11 @@ argument for transformative I/O.
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass
 from typing import Generator, Optional
 
 from ..errors import ConfigError
+from ..faults.plan import FaultPlan
 from ..harness.setup import World
 from ..mpi import run_job
 from ..mpiio import MPIFile
@@ -77,7 +77,7 @@ class Campaign:
     def __init__(self, world: World, stack: IOStack, *, nprocs: int,
                  per_proc_bytes: int, record_bytes: int,
                  work_target: float, interval: float, mtbf: float,
-                 seed: int = 0):
+                 seed: int = 0, plan: FaultPlan = None, injector=None):
         if min(nprocs, per_proc_bytes, record_bytes) < 1:
             raise ConfigError("campaign sizes must be positive")
         if min(work_target, interval, mtbf) <= 0:
@@ -90,7 +90,33 @@ class Campaign:
         self.work_target = work_target
         self.interval = interval
         self.mtbf = mtbf
-        self.rng = random.Random(seed)
+        # The compute-failure clock always derives from a FaultPlan — an
+        # empty plan with this seed when none is given — so every stochastic
+        # draw in a campaign flows through one seeded, process-stable RNG.
+        self.plan = plan if plan is not None else FaultPlan((), seed=seed)
+        self.injector = injector
+        self._clock = self.plan.failure_clock(mtbf)
+
+    # -- fault-plan synchronization ------------------------------------------
+    def _sync_env(self, wall: float) -> None:
+        """Map campaign wall time onto the engine clock and arm faults.
+
+        Component faults are scheduled in campaign wall coordinates; before
+        each I/O job the engine clock is fast-forwarded to the campaign
+        wall (settling any faults due earlier, recoveries included), then
+        the next checkpoint interval's worth of faults is armed so they
+        can strike while the job is in flight.  Without an injector this
+        is a no-op and the engine clock is untouched — fault-free
+        campaigns stay bit-identical to the pre-fault implementation.
+        """
+        if self.injector is None:
+            return
+        env = self.world.env
+        self.injector.arm_until(wall)
+        if env.now < wall:
+            env.schedule_at(wall)
+            env.run()
+        self.injector.arm_until(wall + self.interval)
 
     # -- I/O jobs ------------------------------------------------------------
     def _checkpoint(self, version: int) -> float:
@@ -143,7 +169,7 @@ class Campaign:
         done_work = 0.0
         committed_work = 0.0     # work protected by the last checkpoint
         last_version: Optional[int] = None
-        next_failure = self.rng.expovariate(1.0 / self.mtbf)
+        next_failure = self._clock.next_failure(0.0)
         version = 0
         wall = 0.0
 
@@ -152,7 +178,7 @@ class Campaign:
             nonlocal wall, next_failure
             if wall + dt >= next_failure:
                 wall = next_failure
-                next_failure = wall + self.rng.expovariate(1.0 / self.mtbf)
+                next_failure = self._clock.next_failure(wall)
                 return True
             wall += dt
             return False
@@ -167,6 +193,7 @@ class Campaign:
                 result.lost_work += (done_work - committed_work) + (wall - seg_start)
                 done_work = committed_work
                 if last_version is not None:
+                    self._sync_env(wall)
                     t = self._restart(last_version, result.n_failures)
                     result.restart_time += t
                     wall += t
@@ -175,6 +202,7 @@ class Campaign:
             if done_work >= self.work_target:
                 break
             # Checkpoint.  A failure mid-checkpoint invalidates it.
+            self._sync_env(wall)
             t = self._checkpoint(version)
             result.n_checkpoints += 1
             result.checkpoint_time += t
@@ -183,6 +211,7 @@ class Campaign:
                 result.lost_work += done_work - committed_work
                 done_work = committed_work
                 if last_version is not None:
+                    self._sync_env(wall)
                     tr = self._restart(last_version, result.n_failures)
                     result.restart_time += tr
                     wall += tr

@@ -29,6 +29,11 @@ MICRO = Scale(
     fig8_size_per_proc=2 * MB,
     fig8_transfer=1 * MiB,
     fig8_mds_counts=[1, 2],
+    faults_nprocs=4,
+    faults_per_proc=1 * MB,
+    faults_work=40.0,
+    faults_interval=10.0,
+    faults_mtbfs=[20.0],
 )
 
 EXPECTED_TABLES = {
@@ -42,6 +47,7 @@ EXPECTED_TABLES = {
     "headline": {"headline"},
     "diagnose": {"diagnose-direct", "diagnose-direct-cache",
                  "diagnose-plfs", "diagnose-plfs-cache"},
+    "faults": {"faults-eff", "faults-rec"},
 }
 
 

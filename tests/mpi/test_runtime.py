@@ -82,6 +82,26 @@ class TestRunJob:
         with pytest.raises(DeadlockError):
             run_job(env, cluster, 4, fn)
 
+    def test_deadlock_report_names_blocked_ranks_and_their_waits(self):
+        """The error must say *who* is stuck and *on what* — a fault plan
+        that wedges a job has to be diagnosable from the message alone."""
+        env, cluster = make()
+
+        def fn(ctx):
+            if ctx.rank == 0:
+                yield ctx.env.timeout(0)
+            else:
+                yield from ctx.comm.barrier()  # rank 0 never joins
+
+        with pytest.raises(DeadlockError) as exc:
+            run_job(env, cluster, 3, fn, name="stuck-job")
+        msg = str(exc.value)
+        assert "stuck-job" in msg
+        assert "2 of 3 ranks" in msg
+        # One line per blocked rank, each naming what it waits on.
+        assert "r1" in msg and "r2" in msg
+        assert "waiting on" in msg
+
     def test_sequential_jobs_share_the_engine_clock(self):
         env, cluster = make()
 

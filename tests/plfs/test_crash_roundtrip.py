@@ -1,0 +1,108 @@
+"""Crash round-trip: a writer killed between index spill and data flush.
+
+The sharpest version of PLFS's crash contract: a writer that has spilled
+part of its index and then dies mid-stream (``abandon()`` — no close, no
+final spill, openhost mark left behind) must lose *exactly* the unspilled
+suffix.  ``plfs_check`` has to flag the dirt, ``plfs_recover`` has to make
+the container consistent, and a reader afterwards must get the spilled
+prefix byte-identically and holes for the lost tail — with every other
+rank's data untouched.
+"""
+
+import pytest
+
+from repro.mpi import run_job
+from repro.pfs.data import PatternData, ZeroData
+from repro.plfs.tools import plfs_check, plfs_recover
+from tests.conftest import make_world
+
+KB = 1000
+REC = 5 * KB
+NPROCS = 4
+N_RECORDS = 5
+SPILL = 2            # spill the index every 2 records
+CRASH_RANK = 2
+SPILLED = (N_RECORDS // SPILL) * SPILL   # records the crash cannot lose
+
+
+def _offset(rank, i):
+    return rank * REC + i * NPROCS * REC
+
+
+def _write_and_crash(world):
+    def fn(ctx):
+        fh = yield from world.mount.open_write(ctx.client, "/f", ctx.comm)
+        for i in range(N_RECORDS):
+            yield from fh.write(_offset(ctx.rank, i),
+                                PatternData(ctx.rank, i * REC, REC))
+            if ctx.rank == CRASH_RANK and i == N_RECORDS - 1:
+                # Records 0..3 are covered by index spills (every 2);
+                # record 4 was acked but its index entry never left the
+                # writer's memory: the kill lands between the last index
+                # spill and the close-time flush.
+                fh.abandon()
+                return "crashed"
+        yield from world.mount.close_write(fh, ctx.comm)
+        return "closed"
+
+    res = run_job(world.env, world.cluster, NPROCS, fn)
+    assert res.results.count("crashed") == 1
+
+
+def _solo(world, gen_fn, base=9000):
+    return run_job(world.env, world.cluster, 1, gen_fn,
+                   client_id_base=base).results[0]
+
+
+@pytest.fixture
+def crashed_world():
+    world = make_world(index_spill_records=SPILL)
+    _write_and_crash(world)
+    return world
+
+
+class TestCrashRoundTrip:
+    def test_check_flags_the_crash(self, crashed_world):
+        w = crashed_world
+        report = _solo(w, lambda ctx: plfs_check(w.mount.layout("/f"), ctx.client))
+        assert not report.clean
+        assert report.dirty_hosts                       # openhost mark left
+        assert report.unindexed_bytes == (N_RECORDS - SPILLED) * REC
+
+    def test_recover_restores_exactly_the_spilled_prefix(self, crashed_world):
+        w = crashed_world
+        report = _solo(w, lambda ctx: plfs_recover(w.mount.layout("/f"), ctx.client))
+        assert not report.dirty_hosts
+        assert report.meta_size == report.logical_size
+
+        w.drop_caches()
+
+        def reader(ctx):
+            fh = yield from w.mount.open_read(ctx.client, "/f", None)
+            out = []
+            # The crashed rank's spilled prefix: byte-identical.
+            for i in range(SPILLED):
+                view = yield from fh.read(_offset(CRASH_RANK, i), REC)
+                out.append(view.content_equal(PatternData(CRASH_RANK, i * REC, REC)))
+            # Its unspilled tail: a hole, never garbage.
+            view = yield from fh.read(_offset(CRASH_RANK, SPILLED), REC)
+            out.append(view.content_equal(ZeroData(view.length)))
+            # Every surviving rank: all records intact.
+            for rank in range(NPROCS):
+                if rank == CRASH_RANK:
+                    continue
+                for i in range(N_RECORDS):
+                    view = yield from fh.read(_offset(rank, i), REC)
+                    out.append(view.content_equal(PatternData(rank, i * REC, REC)))
+            yield from fh.close()
+            return out
+
+        checks = _solo(w, reader, base=9500)
+        assert all(checks)
+
+    def test_recovered_container_is_then_clean(self, crashed_world):
+        w = crashed_world
+        _solo(w, lambda ctx: plfs_recover(w.mount.layout("/f"), ctx.client))
+        report = _solo(w, lambda ctx: plfs_check(w.mount.layout("/f"), ctx.client),
+                       base=9600)
+        assert report.clean
