@@ -1,0 +1,59 @@
+"""Static and dynamic determinism analysis for the repro stack.
+
+The reproduction's headline guarantee is that every figure table is
+bit-identical across runs, seeds, ``--jobs`` counts, and fault plans.
+This package turns that contract from a hand-audited convention into an
+enforced invariant, with two engines:
+
+* a **determinism linter** (:mod:`repro.analysis.linter`) — an AST pass
+  over the source tree that flags the constructs that historically break
+  simulated determinism: wall-clock reads, unseeded global RNGs, salted
+  ``hash()``, unordered-container iteration feeding results or event
+  schedules, mutable default arguments, and order-sensitive float
+  reductions.  Rules are identified as ``REP001``..``REP006``
+  (:mod:`repro.analysis.rules`), suppressible per line with
+  ``# repro: noqa[REPnnn]`` and per file via ``[tool.repro.analysis]``
+  in ``pyproject.toml``.
+
+* a **yield-point race sanitizer** (:mod:`repro.analysis.sanitize`) — a
+  dynamic checker for the hazard class behind the PR 2 last-closer bug:
+  shared mutable state read before a generator ``yield`` and acted on
+  after it, while another simulated process mutated it in between.
+  Worlds built with ``REPRO_SANITIZE=1`` (or ``--sanitize`` on the
+  harness CLI) wrap every simulated process with a per-process
+  yield-epoch counter and every registered shared container in a
+  :func:`~repro.analysis.sanitize.tracked` proxy; stale-read and
+  lost-update conflicts raise :class:`~repro.errors.RaceConditionError`
+  at the exact write that acted on stale data.
+
+Command line::
+
+    python -m repro.analysis lint src/      # determinism linter
+    python -m repro.analysis rules          # rule table
+    python -m repro.harness faults --sanitize   # sanitized experiment run
+"""
+
+from __future__ import annotations
+
+from .linter import Finding, lint_paths, lint_source
+from .rules import RULES, Rule
+from .sanitize import (
+    Conflict,
+    Sanitizer,
+    attach_sanitizer,
+    sanitize_enabled,
+    tracked,
+)
+
+__all__ = [
+    "Conflict",
+    "Finding",
+    "RULES",
+    "Rule",
+    "Sanitizer",
+    "attach_sanitizer",
+    "lint_paths",
+    "lint_source",
+    "sanitize_enabled",
+    "tracked",
+]

@@ -1,0 +1,94 @@
+"""Analysis CLI: determinism linter and rule reference.
+
+Usage::
+
+    python -m repro.analysis lint src/              # lint a tree
+    python -m repro.analysis lint src/ --json       # machine-readable
+    python -m repro.analysis lint a.py --select REP004,REP006
+    python -m repro.analysis rules                  # rule table
+
+Exit status: 0 when no findings, 1 when any finding, 2 on usage error.
+The sanitizer has no subcommand here — it is a *runtime* check, enabled
+per experiment run with ``python -m repro.harness <figure> --sanitize``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .config import AnalysisConfig, load_config
+from .linter import Finding, lint_paths
+from .rules import RULES
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    config: AnalysisConfig
+    if args.no_config:
+        config = AnalysisConfig()
+    else:
+        pyproject = Path(args.config) if args.config else None
+        config = load_config(pyproject)
+    if args.select:
+        wanted = {r.strip().upper() for r in args.select.split(",") if r.strip()}
+        unknown = wanted - set(RULES)
+        if unknown:
+            print(f"unknown rule(s): {sorted(unknown)}", file=sys.stderr)
+            return 2
+        config = AnalysisConfig(
+            disable=frozenset(set(RULES) - wanted) | config.disable,
+            exclude=config.exclude,
+            per_file_rules=config.per_file_rules)
+    findings: List[Finding] = lint_paths(args.paths, config)
+    if args.json:
+        print(json.dumps([f.__dict__ for f in findings], indent=2))
+    else:
+        for f in findings:
+            print(f.render())
+        n = len(findings)
+        files = len({f.path for f in findings})
+        if n:
+            print(f"\n{n} finding(s) in {files} file(s)")
+        else:
+            print("no findings")
+    return 1 if findings else 0
+
+
+def _cmd_rules(_args: argparse.Namespace) -> int:
+    for rule in RULES.values():  # repro: noqa[REP004] -- registry is a
+        # literal table; printed in definition order by design.
+        print(f"{rule.id}  {rule.summary}")
+        print(f"        {rule.rationale}\n")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Determinism analysis for the repro source tree.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint = sub.add_parser("lint", help="run the determinism linter")
+    lint.add_argument("paths", nargs="+", help="files or directories to lint")
+    lint.add_argument("--select", default="",
+                      help="comma-separated rule IDs to run (default: all)")
+    lint.add_argument("--config", default="",
+                      help="explicit pyproject.toml (default: nearest)")
+    lint.add_argument("--no-config", action="store_true",
+                      help="ignore [tool.repro.analysis] settings")
+    lint.add_argument("--json", action="store_true",
+                      help="emit findings as JSON")
+    lint.set_defaults(fn=_cmd_lint)
+
+    rules = sub.add_parser("rules", help="print the rule table")
+    rules.set_defaults(fn=_cmd_rules)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""Linter configuration: the ``[tool.repro.analysis]`` pyproject table.
+
+Three knobs, all optional::
+
+    [tool.repro.analysis]
+    disable = ["REP005"]          # rules switched off everywhere
+    exclude = ["src/vendored/*"]  # path globs never linted
+
+    [tool.repro.analysis.per-file-rules]
+    "repro/harness/__main__.py" = ["REP001"]   # rules ignored per file
+
+Paths and globs are matched against the linted file's path with ``/``
+separators; a pattern matches if it matches the whole path or any
+suffix of it, so configs stay valid whether the linter is invoked from
+the repo root or elsewhere.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+__all__ = ["AnalysisConfig", "find_pyproject", "load_config"]
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Parsed ``[tool.repro.analysis]`` settings."""
+
+    disable: FrozenSet[str] = frozenset()
+    exclude: Tuple[str, ...] = ()
+    per_file_rules: Tuple[Tuple[str, FrozenSet[str]], ...] = ()
+
+    def is_excluded(self, path: str) -> bool:
+        norm = _normalize(path)
+        return any(_match(pat, norm) for pat in self.exclude)
+
+    def ignored_rules(self, path: str) -> FrozenSet[str]:
+        """Rules to skip for *path*: global disables plus per-file entries."""
+        norm = _normalize(path)
+        ignored = set(self.disable)
+        for pattern, rules in self.per_file_rules:
+            if _match(pattern, norm):
+                ignored.update(rules)
+        return frozenset(ignored)
+
+
+def _normalize(path: str) -> str:
+    return str(path).replace("\\", "/")
+
+
+def _match(pattern: str, path: str) -> bool:
+    pattern = _normalize(pattern)
+    if fnmatch(path, pattern):
+        return True
+    # Suffix match: "repro/pfs/mds.py" hits "src/repro/pfs/mds.py".
+    parts = path.split("/")
+    return any(fnmatch("/".join(parts[i:]), pattern)
+               for i in range(1, len(parts)))
+
+
+def find_pyproject(start: Optional[Path] = None) -> Optional[Path]:
+    """Nearest ``pyproject.toml`` at or above *start* (default: cwd)."""
+    here = (start or Path.cwd()).resolve()
+    for candidate in (here, *here.parents):
+        p = candidate / "pyproject.toml"
+        if p.is_file():
+            return p
+    return None
+
+
+def load_config(pyproject: Optional[Path] = None) -> AnalysisConfig:
+    """Load settings from *pyproject* (or the nearest one); empty if none."""
+    path = pyproject or find_pyproject()
+    if path is None or not path.is_file():
+        return AnalysisConfig()
+    with open(path, "rb") as fh:
+        data = tomllib.load(fh)
+    table = data.get("tool", {}).get("repro", {}).get("analysis", {})
+    disable: List[str] = list(table.get("disable", []))
+    exclude: List[str] = list(table.get("exclude", []))
+    per_file: Dict[str, List[str]] = table.get("per-file-rules", {})
+    return AnalysisConfig(
+        disable=frozenset(disable),
+        exclude=tuple(exclude),
+        per_file_rules=tuple(
+            (pattern, frozenset(rules))
+            # Matching is additive, so table order cannot change the outcome.
+            for pattern, rules in per_file.items()  # repro: noqa[REP004]
+        ),
+    )

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Generator, Iterable, List
 
+from ..analysis.sanitize import tracked
 from ..errors import ConfigError, NetworkPartitioned
 from ..sim import AllOf, Engine, FairShareServer
 from .node import Node
@@ -92,10 +93,12 @@ class StorageNetwork:
         self.latency = latency
         self.aggregate_bw = aggregate_bw
         self.pipe = FairShareServer(env, aggregate_bw, name="storage-pipe")
-        self._client_nics = {
+        # Read by client transfers while the fault injector partitions and
+        # heals; tracked() registers it with the sanitizer when one is on.
+        self._client_nics = tracked(env, {
             node.id: FairShareServer(env, client_bw, name=f"stor-nic[{node.id}]")
             for node in nodes
-        }
+        }, "storage-net.client-nics")
         self.bytes_moved = 0
         self.down = False
         self.extra_latency = 0.0
@@ -109,7 +112,9 @@ class StorageNetwork:
         self.down = True
         self.partitions += 1
         self.pipe.pause()
-        for nic in self._client_nics.values():
+        # Sorted: pausing reschedules in-flight service events, so the
+        # order is part of the event schedule.
+        for _nid, nic in sorted(self._client_nics.items()):
             nic.pause()
 
     def heal(self) -> None:
@@ -118,7 +123,7 @@ class StorageNetwork:
             return
         self.down = False
         self.pipe.resume()
-        for nic in self._client_nics.values():
+        for _nid, nic in sorted(self._client_nics.items()):
             nic.resume()
 
     def slow_down(self, factor: float) -> None:

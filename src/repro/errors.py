@@ -8,6 +8,8 @@ and must preserve the error a user of the real middleware would see.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
@@ -21,6 +23,16 @@ class DeadlockError(SimulationError):
     """The event queue drained while simulated processes were still blocked."""
 
 
+class RaceConditionError(SimulationError):
+    """The yield-point sanitizer caught a write acting on stale shared state.
+
+    Raised (in strict mode) by :mod:`repro.analysis.sanitize` at the exact
+    mutation that used a value read before a ``yield`` and invalidated by
+    another simulated process in between — the hazard class behind the
+    last-closer registry bug fixed in PR 2.
+    """
+
+
 class FSError(ReproError):
     """Base class for simulated-file-system errors.
 
@@ -28,9 +40,9 @@ class FSError(ReproError):
     on the exact failure mode without string matching.
     """
 
-    errno_name = "EIO"
+    errno_name: str = "EIO"
 
-    def __init__(self, path: str = "", message: str = ""):
+    def __init__(self, path: str = "", message: str = "") -> None:
         self.path = path
         detail = message or self.__doc__.strip().splitlines()[0]  # type: ignore[union-attr]
         super().__init__(f"[{self.errno_name}] {detail}: {path!r}" if path else f"[{self.errno_name}] {detail}")
@@ -136,11 +148,12 @@ class PartialViewError(PLFSError):
     error names the ones it could not.
     """
 
-    def __init__(self, path: str, missing_writers, missing_subdirs=()):
+    def __init__(self, path: str, missing_writers: Iterable[int],
+                 missing_subdirs: Iterable[str] = ()) -> None:
         self.path = path
         self.missing_writers = tuple(sorted(missing_writers))
         self.missing_subdirs = tuple(sorted(missing_subdirs))
-        parts = []
+        parts: list[str] = []
         if self.missing_writers:
             parts.append(f"index logs unreachable for writer(s) "
                          f"{list(self.missing_writers)}")

@@ -14,6 +14,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -42,7 +43,16 @@ def main(argv=None) -> int:
                         help="render each table as an ASCII chart too")
     parser.add_argument("--logy", action="store_true",
                         help="log-scale the chart y axis (implies --chart)")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run under the yield-point race sanitizer "
+                             "(repro.analysis): shared-state races raise "
+                             "RaceConditionError instead of silently "
+                             "skewing results")
     args = parser.parse_args(argv)
+    if args.sanitize:
+        # Via the environment so --jobs worker processes inherit it; each
+        # build_world() checks the flag and attaches a sanitizer.
+        os.environ["REPRO_SANITIZE"] = "1"
     if args.jobs < 0:
         parser.error(f"--jobs must be >= 0, got {args.jobs}")
 
@@ -51,7 +61,8 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown figure(s) {unknown}; choose from {sorted(FIGURES)}")
     scale = get_scale(args.scale)
-    print(f"# repro harness | scale={scale.name}\n", flush=True)
+    san = " | sanitize=on" if args.sanitize else ""
+    print(f"# repro harness | scale={scale.name}{san}\n", flush=True)
     all_tables = []
     for name in names:
         t0 = time.time()

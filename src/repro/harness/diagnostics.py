@@ -60,7 +60,8 @@ def resource_report(world: World) -> Table:
 
 def _hottest_dir_busy(mds) -> float:
     busiest = 0.0
-    for srv in mds._dir_servers.values():
+    # max() over floats is exact and order-insensitive.
+    for srv in mds._dir_servers.values():  # repro: noqa[REP004]
         busiest = max(busiest, srv.busy_time)
     return busiest
 

@@ -11,6 +11,7 @@ import gc
 from dataclasses import dataclass
 from typing import List, Optional
 
+from ..analysis.sanitize import attach_sanitizer, sanitize_enabled
 from ..cluster import Cluster, ClusterSpec, NodeSpec
 from ..pfs import PfsConfig, Volume, panfs
 from ..pfs.locks import RangeLockManager
@@ -58,6 +59,13 @@ def build_world(*, n_volumes: int = 1, n_nodes: int = 4, cores: int = 4,
     # collector doesn't keep up on its own.  Reclaim before building.
     gc.collect()
     env = Engine()
+    if sanitize_enabled():
+        # REPRO_SANITIZE=1 (the harness --sanitize flag): every process in
+        # this world gets yield-epoch instrumentation and the registered
+        # shared containers become recording proxies; a detected race
+        # raises RaceConditionError at the offending write.  The env-var
+        # channel means sweep worker processes inherit the setting.
+        attach_sanitizer(env)
     spec = cluster_spec or ClusterSpec(name="world", n_nodes=n_nodes,
                                        node=NodeSpec(cores=cores))
     cluster = Cluster(env, spec)

@@ -146,7 +146,9 @@ class MPIFile:
         # Dispatch to owners (own contribution stays local).
         local = per_owner.pop(comm.rank, [])
         sends = []
-        for owner, chunk in per_owner.items():
+        # Insertion order is a deterministic function of the (rank-ordered)
+        # request list and ascending domain walk.
+        for owner, chunk in per_owner.items():  # repro: noqa[REP004]
             nbytes = sum(s.length for _, s in chunk)
             sends.append(env.process(comm.send(owner, chunk, nbytes, tag)))
         # If I am an aggregator, collect and write my domain.
@@ -239,7 +241,10 @@ class MPIFile:
                 n = min(ln - pos, dom_end - (off + pos))
                 expected.setdefault((off + pos, n), aggs[d])
                 pos += n
-        for key, owner in expected.items():
+        # Deterministic insertion order (ascending offset walk); the recv
+        # sequence below must match the senders' dispatch order, so do NOT
+        # re-sort it.
+        for key, owner in expected.items():  # repro: noqa[REP004]
             if owner == comm.rank:
                 continue
             got_key, piece = yield from comm.recv(owner, tag)

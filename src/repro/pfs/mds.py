@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, Generator, Optional
 
+from ..analysis.sanitize import tracked
 from ..errors import ConfigError, MDSUnavailable
 from ..sim import Engine, FairShareServer
 from .config import PfsConfig
@@ -48,8 +49,13 @@ class MetadataServer:
         self.cfg = cfg
         self.name = name
         self.server = FairShareServer(env, cfg.mds_ops_per_sec, name=f"{name}.srv")
-        self._dir_servers: Dict[int, FairShareServer] = {}
-        self._dir_inflight: Dict[int, int] = {}
+        # Both registries are mutated by concurrent client processes and by
+        # the fault injector across yields; tracked() is a no-op without a
+        # sanitizer and a recording proxy under --sanitize.
+        self._dir_servers: Dict[int, FairShareServer] = tracked(
+            env, {}, f"{name}.dir-servers")
+        self._dir_inflight: Dict[int, int] = tracked(
+            env, {}, f"{name}.dir-inflight")
         self.op_counts: Dict[str, int] = {}
         self.down = False
         self.failovers = 0
@@ -66,7 +72,10 @@ class MetadataServer:
         self.down = True
         make_exc = lambda: MDSUnavailable(self.name, f"MDS {self.name!r} crashed")
         dropped = self.server.fail_all(make_exc)
-        for srv in self._dir_servers.values():
+        # Sorted: failing a queue triggers events, so the drop order is
+        # part of the event schedule and must not depend on dir creation
+        # history.
+        for _uid, srv in sorted(self._dir_servers.items()):
             dropped += srv.fail_all(make_exc)
         self.dropped_ops += dropped
         return dropped
@@ -133,4 +142,5 @@ class MetadataServer:
 
     @property
     def total_ops(self) -> int:
-        return sum(self.op_counts.values())
+        # Integer sum: order-insensitive, exact.
+        return sum(self.op_counts.values())  # repro: noqa[REP006]

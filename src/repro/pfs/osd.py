@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from ..analysis.sanitize import tracked
 from ..errors import ConfigError, StorageUnavailable
 from ..sim import Engine, Event, FairShareServer
 from .config import PfsConfig
@@ -41,8 +42,13 @@ class Osd:
         self.server = FairShareServer(env, cfg.osd_bw, name=f"osd{index}")
         self.down = False
         self.fail_count = 0
-        self._last_end: Dict[int, int] = {}  # object uid -> end of previous access
-        self._last_client: Dict[int, int] = {}  # object uid -> previous client
+        # Per-object sequentiality state, mutated by every client process
+        # that touches this device; tracked() is free when no sanitizer is
+        # attached and a recording proxy under --sanitize.
+        self._last_end: Dict[int, int] = tracked(
+            env, {}, f"osd{index}.last-end")  # object uid -> end of previous access
+        self._last_client: Dict[int, int] = tracked(
+            env, {}, f"osd{index}.last-client")  # object uid -> previous client
         self.requests = 0
         self.seeks = 0
         self.stream_switches = 0
@@ -227,7 +233,7 @@ class OsdPool:
         for i, (lane, _, _) in enumerate(lanes):
             by_osd.setdefault((file_uid + lane) % cfg.n_osds, []).append(i)
         events: List[Event] = [None] * len(lanes)  # type: ignore[list-item]
-        for osd_index, idxs in by_osd.items():
+        for osd_index, idxs in by_osd.items():  # repro: noqa[REP004] - insertion order follows the lane walk above, deterministically
             osd = self.osds[osd_index]
             if len(idxs) == 1:
                 lane, obj_off, nbytes = lanes[idxs[0]]

@@ -392,7 +392,7 @@ class Volume:
                         demand[osd.index] = (demand.get(osd.index, 0.0)
                                              + size / lanes + overhead)
                 events = [self.pool.osds[i].server.serve(d)
-                          for i, d in demand.items()]
+                          for i, d in demand.items()]  # repro: noqa[REP004] - keyed by osd index from the deterministic lane walk
             events += self.storage_net.path_events(client.node, total)
             yield self.env.all_of(events)
             if cache is not None and cfg.cache_fill_on_read:

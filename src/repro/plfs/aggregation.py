@@ -97,11 +97,14 @@ def _fingerprint(entries: List[IndexLogEntry]) -> Tuple:
 
 def _read_and_parse(client: Client, entries: List[IndexLogEntry]) -> Generator:
     """Bulk-read the given index logs (grouped per volume) and merge them."""
-    by_volume: Dict[int, List[IndexLogEntry]] = {}
+    # Grouped by volume *name* (stable identity — id() is a memory address
+    # and differs across runs); iterated in first-seen entry order, which
+    # is deterministic because the entry list is.
+    by_volume: Dict[str, List[IndexLogEntry]] = {}
     for e in entries:
-        by_volume.setdefault(id(e[0]), []).append(e)
+        by_volume.setdefault(e[0].name, []).append(e)
     merged = GlobalIndex()
-    for group in by_volume.values():
+    for group in by_volume.values():  # repro: noqa[REP004]
         vol = group[0][0]
         views = yield from vol.bulk_read_files(client, [path for _, path, _, _ in group])
         for (_, _, writer_id, node_id), view in zip(group, views):
@@ -151,10 +154,11 @@ def aggregate_original(layout: ContainerLayout, client: Client,
 def _charge_only(layout: ContainerLayout, client: Client,
                  entries: List[IndexLogEntry]) -> Generator:
     """Charge exactly what :func:`_read_and_parse` charges, sans parsing."""
-    by_volume: Dict[int, List[IndexLogEntry]] = {}
+    # Same stable grouping and first-seen order as _read_and_parse.
+    by_volume: Dict[str, List[IndexLogEntry]] = {}
     for e in entries:
-        by_volume.setdefault(id(e[0]), []).append(e)
-    for group in by_volume.values():
+        by_volume.setdefault(e[0].name, []).append(e)
+    for group in by_volume.values():  # repro: noqa[REP004]
         vol = group[0][0]
         yield from vol.bulk_read_files(client, [path for _, path, _, _ in group])
 
@@ -196,12 +200,13 @@ def aggregate_resilient(layout: ContainerLayout, client: Client,
             if parsed is not None:
                 node_id, writer_id = parsed
                 entries.append((vol, f"{path}/{name}", writer_id, node_id))
-    by_volume: Dict[int, List[IndexLogEntry]] = {}
+    # Stable grouping key + first-seen order, as in _read_and_parse.
+    by_volume: Dict[str, List[IndexLogEntry]] = {}
     for e in entries:
-        by_volume.setdefault(id(e[0]), []).append(e)
+        by_volume.setdefault(e[0].name, []).append(e)
     merged = GlobalIndex()
     missing: List[int] = []
-    for group in by_volume.values():
+    for group in by_volume.values():  # repro: noqa[REP004]
         vol = group[0][0]
         paths = [path for _, path, _, _ in group]
         try:

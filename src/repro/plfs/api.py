@@ -92,7 +92,7 @@ class PlfsMount:
                 yield from layout.truncate(client)
         handle = yield from open_write_handle(layout, client, retry=retry)
         if truncate:
-            self._index_cache = {k: v for k, v in self._index_cache.items()
+            self._index_cache = {k: v for k, v in self._index_cache.items()  # repro: noqa[REP004] - order-preserving filter of a deterministic cache
                                  if k[0] != layout.path}
         return handle
 
@@ -172,7 +172,7 @@ class PlfsMount:
     def unlink(self, client: Client, path: str) -> Generator:
         layout = self.layout(path)
         yield from layout.destroy(client)
-        self._index_cache = {k: v for k, v in self._index_cache.items()
+        self._index_cache = {k: v for k, v in self._index_cache.items()  # repro: noqa[REP004] - order-preserving filter of a deterministic cache
                              if k[0] != layout.path}
 
     def mkdir(self, client: Client, path: str) -> Generator:

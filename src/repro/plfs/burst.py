@@ -69,8 +69,10 @@ class PlfsBurstMount(PlfsMount):
         """Unfinished background drains (optionally for one logical path)."""
         if path is not None:
             return [p for p in self._drains.get(path, []) if not p.triggered]
-        return [p for procs in self._drains.values() for p in procs
-                if not p.triggered]
+        # Sorted by path: the returned list feeds all_of(), so its order
+        # is part of the event wiring.
+        return [p for _path, procs in sorted(self._drains.items())
+                for p in procs if not p.triggered]
 
     def wait_drains(self, path: Optional[str] = None) -> Generator:
         """Block until every (or one path's) background drain completes."""

@@ -84,7 +84,10 @@ class PlfsReadHandle:
     def close(self) -> Generator:
         if self.closed:
             raise BadFileHandle(self.layout.path)
-        for fh in self._logs.values():
+        # Sorted by writer id: each close charges metadata ops, so the
+        # close order is part of the event schedule and must not depend on
+        # which logs this reader happened to touch first.
+        for _writer_id, fh in sorted(self._logs.items()):
             yield from retrying(fh.volume.env, self.retry, lambda: fh.close())
         self._logs.clear()
         self.closed = True

@@ -96,7 +96,7 @@ def plfs_check(layout: ContainerLayout, client: Client) -> Generator:
         w = int(srcs[i])
         end = int(offs[i]) + int(lengths[i])
         per_writer_end[w] = max(per_writer_end.get(w, 0), end)
-    for writer, node_id in gi.writers.items():
+    for writer, node_id in sorted(gi.writers.items()):
         vol = layout.subdir_volume(layout.subdir_for_writer(node_id))
         log = vol.ns.try_resolve(layout.data_log_path(node_id, writer))
         if log is None:

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Generator
 
+from ..analysis.sanitize import tracked
 from ..errors import BadFileHandle, FileNotFound, InvalidArgument
 from ..faults.policies import RetryPolicy, retrying
 from ..pfs.data import DataSpec
@@ -33,7 +34,11 @@ def _host_registry(home) -> dict:
     """
     reg = getattr(home, "_plfs_host_refs", None)
     if reg is None:
-        reg = home._plfs_host_refs = {}
+        # Shared across every writer/closer process on the volume: the
+        # canonical yield-point race surface (see the PR 2 last-closer
+        # fix below), so it registers with the sanitizer when one is on.
+        reg = home._plfs_host_refs = tracked(
+            home.env, {}, f"plfs-host-refs[{home.name}]")
     return reg
 
 

@@ -440,6 +440,7 @@ class Engine:
         self._immediate: deque = deque()
         self._eid = 0
         self._live = 0  # scheduled non-daemon events
+        self._san = None  # yield-point race sanitizer (see attach_sanitizer)
         # The factories are the hottest constructors in the simulator;
         # binding them as C-level partials (shadowing the documented
         # methods below) removes a Python wrapper frame per call.
@@ -453,6 +454,34 @@ class Engine:
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def sanitizer(self):
+        """The attached yield-point race sanitizer, or None (the default)."""
+        return self._san
+
+    def attach_sanitizer(self, sanitizer) -> None:
+        """Enable yield-point race detection for every future process.
+
+        Rebinds this engine's :meth:`process` factory so each spawned
+        generator is wrapped with the sanitizer's per-process *yield
+        epoch* counter: the wrapper bumps the epoch and marks the process
+        current on every resume, which is what lets shared state proxies
+        (:func:`repro.analysis.sanitize.tracked`) tell a same-turn
+        read-modify-write from a write acting on a value read before a
+        ``yield``.  Call before spawning processes (worlds attach at
+        construction).  When never called, nothing in the engine's hot
+        paths changes — sanitizing is structurally free when off.
+        """
+        self._san = sanitizer
+        sanitizer._attach(self)
+        make = partial(Process, self)
+
+        def _sanitized_process(gen: Generator, name: str = "") -> Process:
+            label = name or getattr(gen, "__name__", "process")
+            return make(sanitizer.instrument(gen, label), label)
+
+        self.process = _sanitized_process
 
     # -- factory helpers (shadowed by equivalent partials per instance) ----
     def event(self) -> Event:

@@ -1,0 +1,49 @@
+"""The shipped tree passes its own determinism linter and CLI."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import lint_paths
+from repro.analysis.config import load_config
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+
+
+def test_shipped_tree_has_zero_findings():
+    findings = lint_paths([str(SRC)], load_config(REPO / "pyproject.toml"))
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_cli_lint_exits_zero_on_clean_tree():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "lint", str(SRC)],
+        cwd=REPO, capture_output=True, text=True,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"})
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_cli_lint_flags_and_reports_json(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\n")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "lint", "--json",
+         "--no-config", str(bad)],
+        cwd=REPO, capture_output=True, text=True,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"})
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert [f["rule"] for f in payload] == ["REP001"]
+
+
+def test_cli_rules_lists_all_rules():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "rules"],
+        cwd=REPO, capture_output=True, text=True,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"})
+    assert proc.returncode == 0
+    for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005",
+                    "REP006"):
+        assert rule_id in proc.stdout

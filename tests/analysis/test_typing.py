@@ -1,0 +1,19 @@
+"""Strict typing gate for the typed-core modules (units, errors, stats).
+
+mypy is a CI-installed dev dependency, not a runtime one; the test skips
+where it is absent so the tier-1 suite stays dependency-free.
+"""
+
+from pathlib import Path
+
+import pytest
+
+mypy_api = pytest.importorskip("mypy.api", reason="mypy not installed")
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_typed_core_is_strict_clean():
+    stdout, stderr, status = mypy_api.run(
+        ["--config-file", str(REPO / "pyproject.toml")])
+    assert status == 0, f"mypy --strict failed:\n{stdout}\n{stderr}"
