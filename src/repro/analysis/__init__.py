@@ -26,11 +26,22 @@ enforced invariant, with two engines:
   lost-update conflicts raise :class:`~repro.errors.RaceConditionError`
   at the exact write that acted on stale data.
 
+* a **schedule-exploring model checker** (:mod:`repro.analysis.explore`)
+  — a CHESS-style bounded enumerator of same-instant interleavings.  A
+  controlled scheduler hooks the engine's tie-breaking, reorders ready
+  events under a preemption bound, prunes DPOR-style using the access
+  footprints the ``tracked()`` proxies record, and evaluates semantic
+  invariant oracles (:mod:`repro.analysis.oracles`) at every quiescent
+  point.  Violating schedules are delta-minimized
+  (:mod:`repro.analysis.minimize`) into replayable traces.
+
 Command line::
 
     python -m repro.analysis lint src/      # determinism linter
     python -m repro.analysis rules          # rule table
+    python -m repro.analysis check --workload smallio --budget 200
     python -m repro.harness faults --sanitize   # sanitized experiment run
+    python -m repro.harness --replay-schedule trace.json  # replay a violation
 """
 
 from __future__ import annotations
@@ -40,7 +51,10 @@ from .rules import RULES, Rule
 from .sanitize import (
     Conflict,
     Sanitizer,
+    TrackedDict,
+    TrackedSet,
     attach_sanitizer,
+    raw_snapshot,
     sanitize_enabled,
     tracked,
 )
@@ -51,9 +65,12 @@ __all__ = [
     "RULES",
     "Rule",
     "Sanitizer",
+    "TrackedDict",
+    "TrackedSet",
     "attach_sanitizer",
     "lint_paths",
     "lint_source",
+    "raw_snapshot",
     "sanitize_enabled",
     "tracked",
 ]

@@ -1,4 +1,4 @@
-"""Analysis CLI: determinism linter and rule reference.
+"""Analysis CLI: determinism linter, rule reference, and model checker.
 
 Usage::
 
@@ -6,10 +6,13 @@ Usage::
     python -m repro.analysis lint src/ --json       # machine-readable
     python -m repro.analysis lint a.py --select REP004,REP006
     python -m repro.analysis rules                  # rule table
+    python -m repro.analysis check --workload smallio --budget 200
 
-Exit status: 0 when no findings, 1 when any finding, 2 on usage error.
-The sanitizer has no subcommand here — it is a *runtime* check, enabled
-per experiment run with ``python -m repro.harness <figure> --sanitize``.
+Exit status: 0 when no findings/violations, 1 when any, 2 on usage
+error.  The sanitizer has no subcommand here — it is a *runtime* check,
+enabled per experiment run with ``python -m repro.harness <figure>
+--sanitize`` (and implicitly by ``check``, whose schedule explorer
+feeds on the sanitizer's access footprints).
 """
 
 from __future__ import annotations
@@ -65,6 +68,26 @@ def _cmd_rules(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    # Lazy imports: the explorer pulls in the whole simulator stack,
+    # which `lint` runs (CI's most frequent path) should not pay for.
+    from .explore import run_check, save_trace
+
+    if args.budget < 1 or args.bound < 0:
+        print("check needs --budget >= 1 and --bound >= 0", file=sys.stderr)
+        return 2
+    print(f"exploring workload {args.workload!r} "
+          f"(bound {args.bound}, budget {args.budget})")
+    report = run_check(args.workload, budget=args.budget, bound=args.bound,
+                       log=print)
+    print(report.render())
+    if report.trace is not None:
+        save_trace(args.trace, report.trace)
+        print(f"  trace written to {args.trace} — replay with:\n"
+              f"    python -m repro.harness --replay-schedule {args.trace}")
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
@@ -85,6 +108,19 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     rules = sub.add_parser("rules", help="print the rule table")
     rules.set_defaults(fn=_cmd_rules)
+
+    check = sub.add_parser(
+        "check", help="bounded schedule exploration with invariant oracles")
+    check.add_argument("--workload", default="smallio",
+                       help="checker workload (see repro.analysis.scenarios)")
+    check.add_argument("--budget", type=int, default=200,
+                       help="max schedules to explore (default 200)")
+    check.add_argument("--bound", type=int, default=2,
+                       help="preemption bound: max deviations per schedule "
+                            "(default 2)")
+    check.add_argument("--trace", default="trace.json",
+                       help="where to write the minimized violation trace")
+    check.set_defaults(fn=_cmd_check)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -9,6 +9,7 @@ REP003    salted builtin ``hash()``
 REP004    iteration over unordered containers (``.values()``, sets)
 REP005    mutable default arguments
 REP006    float reductions (``sum``/``fsum``) over unordered iterables
+REP007    registry read separated from its dependent write by a yield
 ========  ===========================================================
 
 Suppression forms, narrowest first:
@@ -25,6 +26,19 @@ suppression comment *is* the documentation that a site was audited.
 That trade keeps the pass dependency-free, fast (one ``ast.parse`` per
 file), and — most importantly — loud for the next person who writes
 ``for x in d.values()`` into an event schedule.
+
+REP007 is the static face of the model checker's favourite dynamic bug
+(:mod:`repro.analysis.explore`): inside a *generator* function, a value
+read from a ``tracked()`` shared registry and then *written back* after
+a ``yield`` — without re-reading — is a lost update waiting for the
+right interleaving.  The pass recognises registries syntactically
+(variables assigned from ``tracked(...)``, attributes so assigned
+anywhere in the module, and results of same-module helpers whose body
+calls ``tracked``), walks each generator's statements in order tracking
+read/yield/write phases per registry, and forks the tracking state at
+``if``/``try`` branches so a yield on one arm cannot taint the other.
+Loop bodies are walked twice, catching reads cached across an
+iteration's yields.
 """
 
 from __future__ import annotations
@@ -262,6 +276,263 @@ class _Visitor(ast.NodeVisitor):
     visit_AsyncFunctionDef = _check_defaults
 
 
+# -- REP007: registry atomicity across yields --------------------------------
+
+_REG_READ_METHODS = frozenset({"get", "keys", "values", "items", "copy"})
+_REG_WRITE_METHODS = frozenset({
+    "pop", "popitem", "clear", "update", "add", "discard", "remove",
+})
+# setdefault reads and writes in one engine step: atomic by construction.
+_REG_RW_METHODS = frozenset({"setdefault"})
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_SKIP_NODES = (*_FUNC_NODES, ast.Lambda)
+
+
+def _is_tracked_call(node: ast.AST) -> bool:
+    """Is *node* a call of ``tracked(...)`` (any dotted spelling)?"""
+    if not isinstance(node, ast.Call):
+        return False
+    dotted = _dotted(node.func)
+    return dotted is not None and dotted.split(".")[-1] == "tracked"
+
+
+@dataclass
+class _RegState:
+    """Read-basis tracking for one registry inside one generator."""
+
+    armed: bool = False       # a read's value may still be live
+    stale: bool = False       # ... and a yield has happened since it
+    read_line: int = 0
+
+    def copy(self) -> "_RegState":
+        return _RegState(self.armed, self.stale, self.read_line)
+
+
+class _AtomicityPass:
+    """REP007: find read -> yield -> write chains on tracked registries.
+
+    Purely syntactic and module-local.  Registries are variables or
+    attributes assigned from ``tracked(...)`` — directly, or via a
+    same-module helper function whose body calls ``tracked`` (the
+    ``_host_registry(home)`` idiom).  Within each *generator* function
+    the pass walks statements in order: a registry read arms a basis, a
+    yield marks every armed basis stale, and a write on a stale basis is
+    a finding (the written value may derive from a read that another
+    process has since invalidated).  A re-read re-arms fresh, and a
+    write always retires the basis — so single-statement
+    read-modify-writes (``r[k] -= 1``, ``setdefault``) never flag.
+    """
+
+    def __init__(self, emit) -> None:
+        self._emit = emit
+        self._reported: Set = set()
+
+    # -- module pre-scan ---------------------------------------------------
+    def run(self, tree: ast.Module) -> None:
+        factories: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, _FUNC_NODES) and any(
+                    _is_tracked_call(n) for n in ast.walk(node)):
+                factories.add(node.name)
+
+        def makes_registry(value: ast.AST) -> bool:
+            if _is_tracked_call(value):
+                return True
+            if isinstance(value, ast.Call):
+                dotted = _dotted(value.func)
+                return dotted is not None \
+                    and dotted.split(".")[-1] in factories
+            return False
+
+        attr_regs: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and makes_registry(node.value):
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Attribute):
+                        attr_regs.add(tgt.attr)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None \
+                    and makes_registry(node.value):
+                if isinstance(node.target, ast.Attribute):
+                    attr_regs.add(node.target.attr)
+
+        for node in ast.walk(tree):
+            if isinstance(node, _FUNC_NODES) and self._is_generator(node):
+                self._walk_function(node, makes_registry, attr_regs)
+
+    @staticmethod
+    def _is_generator(fn: ast.AST) -> bool:
+        stack = list(fn.body)  # type: ignore[attr-defined]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return True
+            if isinstance(node, _SKIP_NODES):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+        return False
+
+    # -- per-function walk -------------------------------------------------
+    def _walk_function(self, fn, makes_registry, attr_regs: Set[str]) -> None:
+        local_regs: Set[str] = set()
+        state: Dict[str, _RegState] = {}
+
+        def rid_of(node: ast.AST) -> Optional[str]:
+            if isinstance(node, ast.Name) and node.id in local_regs:
+                return f"{node.id}"
+            if isinstance(node, ast.Attribute) and node.attr in attr_regs:
+                return f".{node.attr}"
+            return None
+
+        def scan(expr: ast.AST, reads: List, writes: List,
+                 yields: List) -> None:
+            """Registry touches and yields in one statement's expressions."""
+            # Inner Name/Attribute nodes already classified as part of an
+            # enclosing access (the `reg` of `del reg[k]`) must not also
+            # count as bare reads — a write statement would otherwise
+            # re-arm its own basis fresh and mask the staleness.
+            # ast.walk is breadth-first, so parents precede children.
+            consumed: Set[int] = set()
+            for node in ast.walk(expr):
+                if isinstance(node, _SKIP_NODES):
+                    # ast.walk has no skip; nested defs inside simulated
+                    # generators don't occur in this tree.
+                    continue
+                if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                    yields.append(node)
+                elif isinstance(node, ast.Subscript):
+                    rid = rid_of(node.value)
+                    if rid is None:
+                        continue
+                    consumed.add(id(node.value))
+                    if isinstance(node.ctx, ast.Load):
+                        reads.append((rid, node))
+                    else:             # Store or Del
+                        writes.append((rid, node))
+                elif isinstance(node, ast.Compare):
+                    for op, cmp in zip(node.ops, node.comparators):
+                        if isinstance(op, (ast.In, ast.NotIn)):
+                            rid = rid_of(cmp)
+                            if rid is not None:
+                                consumed.add(id(cmp))
+                                reads.append((rid, node))
+                elif isinstance(node, ast.Call) \
+                        and isinstance(node.func, ast.Attribute):
+                    rid = rid_of(node.func.value)
+                    if rid is None:
+                        continue
+                    m = node.func.attr
+                    if m in _REG_READ_METHODS or m in _REG_RW_METHODS:
+                        consumed.add(id(node.func.value))
+                        reads.append((rid, node))
+                    if m in _REG_WRITE_METHODS or m in _REG_RW_METHODS:
+                        consumed.add(id(node.func.value))
+                        writes.append((rid, node))
+                elif isinstance(node, (ast.Name, ast.Attribute)):
+                    rid = rid_of(node)
+                    if rid is not None and id(node) not in consumed \
+                            and isinstance(
+                                getattr(node, "ctx", None), ast.Load):
+                        # Bare registry use: iteration, len(), snapshot
+                        # helpers — a read, conservatively.
+                        reads.append((rid, node))
+
+        def stmt_events(stmt: ast.stmt) -> None:
+            reads: List = []
+            writes: List = []
+            yields: List = []
+            if isinstance(stmt, ast.AugAssign):
+                rid = rid_of(stmt.target.value) \
+                    if isinstance(stmt.target, ast.Subscript) else None
+                if rid is not None:
+                    reads.append((rid, stmt))
+                    writes.append((rid, stmt))
+                scan(stmt.value, reads, writes, yields)
+            else:
+                scan(stmt, reads, writes, yields)
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                value = stmt.value
+                if value is not None and makes_registry(value):
+                    targets = stmt.targets if isinstance(stmt, ast.Assign) \
+                        else [stmt.target]
+                    for tgt in targets:
+                        if isinstance(tgt, ast.Name):
+                            local_regs.add(tgt.id)
+            for rid, node in reads:
+                state[rid] = _RegState(True, False, node.lineno)
+            if yields:
+                for _rid, st in sorted(state.items()):
+                    if st.armed:
+                        st.stale = True
+            for rid, node in writes:
+                st = state.get(rid)
+                if st is not None and st.armed and st.stale:
+                    key = (node.lineno, node.col_offset, rid)
+                    if key not in self._reported:
+                        self._reported.add(key)
+                        name = rid.lstrip(".")
+                        self._emit("REP007", node,
+                                   f"write to tracked registry {name!r} "
+                                   f"uses a value read at line "
+                                   f"{st.read_line}, before a yield: the "
+                                   f"registry may have changed while "
+                                   f"suspended — re-read after resuming")
+                state[rid] = _RegState()
+
+        def merge(a: Dict[str, _RegState],
+                  b: Dict[str, _RegState]) -> Dict[str, _RegState]:
+            out: Dict[str, _RegState] = {}
+            for rid in sorted(set(a) | set(b)):
+                sa = a.get(rid, _RegState())
+                sb = b.get(rid, _RegState())
+                out[rid] = _RegState(
+                    sa.armed or sb.armed,
+                    (sa.armed and sa.stale) or (sb.armed and sb.stale),
+                    max(sa.read_line, sb.read_line))
+            return out
+
+        def block(stmts: Sequence[ast.stmt]) -> None:
+            nonlocal state
+            for stmt in stmts:
+                if isinstance(stmt, _SKIP_NODES):
+                    continue
+                if isinstance(stmt, ast.If):
+                    stmt_events(ast.Expr(stmt.test))
+                    before = {k: v.copy() for k, v in sorted(state.items())}
+                    block(stmt.body)
+                    then_state = state
+                    state = before
+                    block(stmt.orelse)
+                    state = merge(then_state, state)
+                elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                    stmt_events(ast.Expr(stmt.iter))
+                    block(stmt.body)   # twice: catch reads cached across
+                    block(stmt.body)   # one iteration's yields
+                    block(stmt.orelse)
+                elif isinstance(stmt, ast.While):
+                    stmt_events(ast.Expr(stmt.test))
+                    block(stmt.body)
+                    block(stmt.body)
+                    block(stmt.orelse)
+                elif isinstance(stmt, ast.Try):
+                    block(stmt.body)
+                    body_state = {k: v.copy()
+                                  for k, v in sorted(state.items())}
+                    for handler in stmt.handlers:
+                        block(handler.body)
+                        state = merge(body_state, state)
+                    block(stmt.orelse)
+                    block(stmt.finalbody)
+                elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    for item in stmt.items:
+                        stmt_events(ast.Expr(item.context_expr))
+                    block(stmt.body)
+                else:
+                    stmt_events(stmt)
+
+        block(fn.body)
+
+
 # -- entry points ------------------------------------------------------------
 
 def _noqa_map(source: str) -> Dict[int, Optional[Set[str]]]:
@@ -292,6 +563,8 @@ def lint_source(source: str, path: str = "<string>",
                         message=f"syntax error: {exc.msg}")]
     visitor = _Visitor(rules)
     visitor.visit(tree)
+    if "REP007" in rules:
+        _AtomicityPass(visitor._emit).run(tree)
     noqa = _noqa_map(source)
     out: List[Finding] = []
     for f in visitor.findings:

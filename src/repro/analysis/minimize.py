@@ -1,0 +1,45 @@
+"""Delta-minimization of violating schedules (greedy ddmin).
+
+A violating schedule found by the explorer may carry deviations that are
+irrelevant to the bug — preemption-bounded search tries combinations,
+and only some of the flips in a failing combination actually build the
+racy interleaving.  Minimization re-runs the workload (deterministic, so
+re-running is exact) with subsets of the deviations and keeps the
+smallest set that still fails.
+
+The schedules here are tiny (the preemption bound caps them at a
+handful of decisions), so the classic greedy variant of ddmin — drop one
+decision at a time, restart whenever a drop sticks — is both simplest
+and optimal enough: it terminates in O(n²) runs for n decisions, with
+n <= the bound.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+__all__ = ["minimize_schedule"]
+
+Schedule = Dict[int, int]
+
+
+def minimize_schedule(schedule: Schedule,
+                      still_fails: Callable[[Schedule], bool]) -> Schedule:
+    """Smallest subset of *schedule*'s decisions for which *still_fails*.
+
+    *still_fails* must be deterministic (the simulator guarantees it:
+    identical schedules give identical runs).  The input schedule is
+    assumed failing; the result is 1-minimal — dropping any single
+    remaining decision makes the run pass.
+    """
+    current = dict(schedule)
+    shrunk = True
+    while shrunk:
+        shrunk = False
+        for idx in sorted(current):
+            trial = {k: v for k, v in sorted(current.items()) if k != idx}
+            if still_fails(trial):
+                current = trial
+                shrunk = True
+                break
+    return current

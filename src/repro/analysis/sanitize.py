@@ -54,7 +54,9 @@ __all__ = [
     "Conflict",
     "Sanitizer",
     "TrackedDict",
+    "TrackedSet",
     "attach_sanitizer",
+    "raw_snapshot",
     "sanitize_enabled",
     "tracked",
 ]
@@ -112,6 +114,11 @@ class Sanitizer:
         self.env: Any = None
         self._nproc = 0
         self._ncid = 0
+        # Optional access-footprint observer (the model checker's schedule
+        # controller): called as ``observer.on_access(container, key,
+        # is_write)`` for every tracked access.  None costs one attribute
+        # load per access and nothing else.
+        self.observer: Any = None
 
     # -- wiring ------------------------------------------------------------
     def _attach(self, env: Any) -> None:
@@ -164,18 +171,35 @@ def attach_sanitizer(env: Any, strict: bool = True) -> Sanitizer:
     return san
 
 
-def tracked(env: Any, container: dict, name: str) -> dict:
-    """Register *container* as shared mutable state.
+def tracked(env: Any, container: Any, name: str) -> Any:
+    """Register *container* (a dict or a set) as shared mutable state.
 
     With no sanitizer attached to *env* this returns *container*
     unchanged — the instrumentation is structurally free when disabled.
-    With one attached it returns a :class:`TrackedDict` proxy that
-    records read/write vectors per yield epoch.
+    With one attached it returns a :class:`TrackedDict` (or
+    :class:`TrackedSet`) proxy that records read/write vectors per yield
+    epoch.
     """
     san = getattr(env, "sanitizer", None)
     if san is None:
         return container
+    if isinstance(container, set):
+        return TrackedSet(container, san, name)
     return TrackedDict(container, san, name)
+
+
+def raw_snapshot(container: Any) -> Any:
+    """The plain dict/set behind a tracked proxy (identity when untracked).
+
+    Invariant oracles read simulator state through this so their
+    inspections never perturb the sanitizer's read vectors or the model
+    checker's access footprints.
+    """
+    if isinstance(container, TrackedDict):
+        return container._d
+    if isinstance(container, TrackedSet):
+        return container._s
+    return container
 
 
 class _TrackedList:
@@ -228,21 +252,18 @@ class _TrackedList:
         return f"tracked({self._lst!r})"
 
 
-class TrackedDict:
-    """Recording proxy around a plain dict of shared simulation state.
+class _TrackedBase:
+    """Shared version/read-vector bookkeeping for tracked containers.
 
-    Supports the mapping surface the instrumented modules actually use
-    (item access, ``get``/``setdefault``/``pop``, ``del``, ``in``,
-    iteration, ``values``/``items``/``keys``, ``clear``, ``len``).
-    List values come back wrapped in :class:`_TrackedList` so in-place
-    field mutations are visible to the race detector.
+    Subclasses expose a dict or set surface; every access funnels through
+    :meth:`_note_read` / :meth:`_note_write`, which record the vectors the
+    race detector compares and notify the sanitizer's access-footprint
+    observer (when one is installed by the model checker).
     """
 
-    __slots__ = ("_d", "_san", "name", "_cid", "_ver", "_writer", "_del_ver",
-                 "_wrappers")
+    __slots__ = ("_san", "name", "_cid", "_ver", "_writer", "_del_ver")
 
-    def __init__(self, d: dict, san: Sanitizer, name: str):
-        self._d = d
+    def __init__(self, san: Sanitizer, name: str):
         self._san = san
         self.name = name
         san._ncid += 1
@@ -251,16 +272,22 @@ class TrackedDict:
         self._ver: Dict[Any, int] = {}
         self._writer: Dict[Any, str] = {}
         self._del_ver: Dict[Any, int] = {}   # version at last deletion
-        self._wrappers: Dict[Any, _TrackedList] = {}
 
     # -- bookkeeping -------------------------------------------------------
     def _note_read(self, key: Any) -> None:
-        rec = self._san.current
+        san = self._san
+        rec = san.current
         if rec is not None:
             rec.reads[(self._cid, key)] = (self._ver.get(key, 0), rec.epoch)
+        obs = san.observer
+        if obs is not None:
+            obs.on_access(self.name, key, False)
 
     def _note_write(self, key: Any, deleted: bool = False) -> None:
         san = self._san
+        obs = san.observer
+        if obs is not None:
+            obs.on_access(self.name, key, True)
         rec = san.current
         ver = self._ver.get(key, 0)
         # Deletions *by others since the read* decide the conflict kind, so
@@ -290,6 +317,24 @@ class TrackedDict:
         # write (the "check" of a check-then-act) can arm a conflict.
         # Blind last-writer-wins overwrites therefore never flag.
         rec.reads.pop((self._cid, key), None)
+
+
+class TrackedDict(_TrackedBase):
+    """Recording proxy around a plain dict of shared simulation state.
+
+    Supports the mapping surface the instrumented modules actually use
+    (item access, ``get``/``setdefault``/``pop``/``update``, ``del``,
+    ``in``, iteration, ``values``/``items``/``keys``, ``clear``, ``|=``,
+    ``len``).  List values come back wrapped in :class:`_TrackedList` so
+    in-place field mutations are visible to the race detector.
+    """
+
+    __slots__ = ("_d", "_wrappers")
+
+    def __init__(self, d: dict, san: Sanitizer, name: str):
+        super().__init__(san, name)
+        self._d = d
+        self._wrappers: Dict[Any, _TrackedList] = {}
 
     def _wrap(self, key: Any, value: Any) -> Any:
         if type(value) is list:
@@ -337,7 +382,7 @@ class TrackedDict:
             return self._wrap(key, self._d[key])
         return default
 
-    def setdefault(self, key: Any, default: Any) -> Any:
+    def setdefault(self, key: Any, default: Any = None) -> Any:
         if key not in self._d:
             self._note_write(key)
             self._d[key] = default
@@ -352,6 +397,19 @@ class TrackedDict:
             return value
         self._note_read(key)
         return default[0]
+
+    def update(self, other: Any = (), **kw: Any) -> None:
+        items = other.items() if hasattr(other, "items") else other
+        for k, v in items:
+            self._note_write(k)
+            self._d[k] = v
+        for k, v in kw.items():  # repro: noqa[REP004] - kwargs preserve call order (PEP 468)
+            self._note_write(k)
+            self._d[k] = v
+
+    def __ior__(self, other: Any) -> "TrackedDict":
+        self.update(other)
+        return self
 
     def keys(self) -> List[Any]:
         return list(iter(self))
@@ -370,3 +428,71 @@ class TrackedDict:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TrackedDict({self.name!r}, {self._d!r})"
+
+
+class TrackedSet(_TrackedBase):
+    """Recording proxy around a plain set of shared simulation state.
+
+    Each element is its own conflict key (membership is the state), so a
+    membership test is a read of that element and ``add``/``discard``/
+    ``remove`` are writes to it — a process that checks ``x in s``,
+    yields, and then mutates ``x``'s membership after another process
+    changed it gets flagged exactly like a stale dict write.
+    """
+
+    __slots__ = ("_s",)
+
+    def __init__(self, s: set, san: Sanitizer, name: str):
+        super().__init__(san, name)
+        self._s = s
+
+    def __contains__(self, key: Any) -> bool:
+        self._note_read(key)
+        return key in self._s
+
+    def __len__(self) -> int:
+        return len(self._s)
+
+    def __bool__(self) -> bool:
+        return bool(self._s)
+
+    def __iter__(self) -> Iterator[Any]:
+        keys = sorted(self._s, key=repr)
+        for k in keys:
+            self._note_read(k)
+        return iter(keys)
+
+    def add(self, key: Any) -> None:
+        self._note_write(key)
+        self._s.add(key)
+
+    def discard(self, key: Any) -> None:
+        if key in self._s:
+            self._note_write(key, deleted=True)
+            self._s.discard(key)
+        else:
+            self._note_read(key)
+
+    def remove(self, key: Any) -> None:
+        if key not in self._s:
+            self._note_read(key)
+            raise KeyError(key)
+        self._note_write(key, deleted=True)
+        self._s.remove(key)
+
+    def update(self, other: Any) -> None:
+        for k in other:
+            self._note_write(k)
+            self._s.add(k)
+
+    def __ior__(self, other: Any) -> "TrackedSet":
+        self.update(other)
+        return self
+
+    def clear(self) -> None:
+        for k in list(self._s):
+            self._note_write(k, deleted=True)
+        self._s.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TrackedSet({self.name!r}, {self._s!r})"

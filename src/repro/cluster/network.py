@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Generator, Iterable, List
 
-from ..analysis.sanitize import tracked
+from ..analysis.sanitize import raw_snapshot, tracked
 from ..errors import ConfigError, NetworkPartitioned
 from ..sim import AllOf, Engine, FairShareServer
 from .node import Node
@@ -99,6 +99,11 @@ class StorageNetwork:
             node.id: FairShareServer(env, client_bw, name=f"stor-nic[{node.id}]")
             for node in nodes
         }, "storage-net.client-nics")
+        # Node ids currently cut off from storage (single-node partitions,
+        # as opposed to the whole-link partition() below).  Mutated by the
+        # fault injector, read by every transfer — a classic shared set.
+        self._partitioned_nodes = tracked(env, set(),
+                                          "storage-net.partitioned-nodes")
         self.bytes_moved = 0
         self.down = False
         self.extra_latency = 0.0
@@ -126,6 +131,27 @@ class StorageNetwork:
         for _nid, nic in sorted(self._client_nics.items()):
             nic.resume()
 
+    def partition_node(self, node_id: int) -> None:
+        """Cut one node off from storage: its transfers reject, its bytes
+        on the wire freeze, every other node keeps going.  Idempotent."""
+        if node_id in self._partitioned_nodes:
+            return
+        self._partitioned_nodes.add(node_id)
+        self.partitions += 1
+        self._client_nics[node_id].pause()
+
+    def heal_node(self, node_id: int) -> None:
+        """Reconnect a node severed by :meth:`partition_node`."""
+        if node_id not in self._partitioned_nodes:
+            return
+        self._partitioned_nodes.discard(node_id)
+        self._client_nics[node_id].resume()
+
+    def partition_snapshot(self) -> set:
+        """Plain copy of the partitioned-node set (oracle accessor —
+        reads no tracked state, so inspections never perturb footprints)."""
+        return set(raw_snapshot(self._partitioned_nodes))
+
     def slow_down(self, factor: float) -> None:
         """Degrade the shared pipe to ``1/factor`` of configured bandwidth."""
         if not (factor >= 1.0):
@@ -140,6 +166,14 @@ class StorageNetwork:
         if self.down:
             raise NetworkPartitioned("storage-net", "storage network partitioned")
 
+    def _check_node(self, node: Node) -> None:
+        if self.down:
+            raise NetworkPartitioned("storage-net", "storage network partitioned")
+        if node.id in self._partitioned_nodes:
+            raise NetworkPartitioned(
+                f"storage-net[node {node.id}]",
+                f"node {node.id} partitioned from storage")
+
     def path_events(self, node: Node, nbytes: int) -> list:
         """Fair-share events for *nbytes* crossing this network from/to *node*.
 
@@ -147,7 +181,7 @@ class StorageNetwork:
         storage-device service (the bytes stream through NIC, pipe, and
         device concurrently).
         """
-        self._check_up()
+        self._check_node(node)
         self.bytes_moved += nbytes
         if nbytes == 0:
             return []
@@ -155,7 +189,7 @@ class StorageNetwork:
 
     def transfer(self, node: Node, nbytes: int) -> Generator:
         """Latency plus a full traversal of the network (no device component)."""
-        self._check_up()
+        self._check_node(node)
         yield self.env.timeout(self.latency + self.extra_latency)
         events = self.path_events(node, nbytes)
         if events:

@@ -7,6 +7,8 @@ Usage::
     python -m repro.harness all --scale paper   # published process counts
     python -m repro.harness all --json out.json # also dump JSON
     python -m repro.harness fig4 --jobs 4       # 4 worker processes
+    python -m repro.harness --replay-schedule trace.json
+                                                # re-run a model-checker trace
 
 ``REPRO_SCALE=paper`` is equivalent to ``--scale paper``.
 """
@@ -23,14 +25,48 @@ from .report import render_tables, save_json
 from .scales import get_scale
 
 
+def _replay(trace_path: str) -> int:
+    """Re-run a model-checker trace; exit 0 iff its violation reproduces.
+
+    Deterministic simulation makes this exact: the same workload under
+    the same schedule produces the same violation.  A trace that no
+    longer fails means the tree under test fixed (or lost) the bug the
+    trace captured — useful both ways, so the outcome is always printed.
+    """
+    from ..analysis.explore import load_trace, replay_trace
+
+    trace = load_trace(trace_path)
+    recorded = trace.get("violation")
+    print(f"# repro harness | replaying {trace_path} "
+          f"(workload {trace['workload']!r}, "
+          f"{len(trace['decisions'])} decision(s))\n", flush=True)
+    result = replay_trace(trace)
+    for v in result.violations:
+        print(f"  {v.render()}")
+    if result.failed:
+        print("\nviolation reproduced")
+        return 0
+    if recorded is None:
+        print("clean run reproduced")
+        return 0
+    print(f"\nrecorded violation did NOT reproduce: "
+          f"[{recorded['kind']}] {recorded['message']}")
+    return 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Reproduce the tables/figures of 'The Power and "
                     "Challenges of Transformative I/O' (CLUSTER 2012).",
     )
-    parser.add_argument("figures", nargs="+",
+    parser.add_argument("figures", nargs="*",
                         help=f"figures to run: {', '.join(FIGURES)} or 'all'")
+    parser.add_argument("--replay-schedule", default="", metavar="TRACE",
+                        help="replay a violation trace written by 'python -m "
+                             "repro.analysis check' and report whether the "
+                             "recorded violation reproduces (exit 0 when it "
+                             "does)")
     parser.add_argument("--scale", default="",
                         help="'small' (default) or 'paper' (published maxima)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -49,6 +85,12 @@ def main(argv=None) -> int:
                              "RaceConditionError instead of silently "
                              "skewing results")
     args = parser.parse_args(argv)
+    if args.replay_schedule:
+        if args.figures:
+            parser.error("--replay-schedule takes no figure arguments")
+        return _replay(args.replay_schedule)
+    if not args.figures:
+        parser.error("name figures to run, or use --replay-schedule")
     if args.sanitize:
         # Via the environment so --jobs worker processes inherit it; each
         # build_world() checks the flag and attaches a sanitizer.

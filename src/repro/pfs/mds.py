@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, Generator, Optional
 
-from ..analysis.sanitize import tracked
+from ..analysis.sanitize import raw_snapshot, tracked
 from ..errors import ConfigError, MDSUnavailable
 from ..sim import Engine, FairShareServer
 from .config import PfsConfig
@@ -89,6 +89,18 @@ class MetadataServer:
         self.server = FairShareServer(self.env, self.cfg.mds_ops_per_sec,
                                       name=f"{self.name}.srv+{self.failovers}")
         self._dir_servers.clear()
+
+    def registry_snapshot(self) -> Dict[str, Dict[int, int]]:
+        """Plain copies of the per-directory registries (oracle accessor).
+
+        Returns ``{"inflight": {dir_uid: count}, "dir_servers": {dir_uid:
+        active_jobs}}`` read through :func:`raw_snapshot` so invariant
+        checks never perturb sanitizer read vectors or DPOR footprints.
+        """
+        inflight = dict(raw_snapshot(self._dir_inflight))
+        servers = {uid: srv.active
+                   for uid, srv in sorted(raw_snapshot(self._dir_servers).items())}
+        return {"inflight": inflight, "dir_servers": servers}
 
     def _dir_server(self, dir_uid: int) -> FairShareServer:
         srv = self._dir_servers.get(dir_uid)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from ..analysis.sanitize import tracked
+from ..analysis.sanitize import raw_snapshot, tracked
 from ..errors import ConfigError, StorageUnavailable
 from ..sim import Engine, Event, FairShareServer
 from .config import PfsConfig
@@ -53,6 +53,15 @@ class Osd:
         self.seeks = 0
         self.stream_switches = 0
         self.bytes_moved = 0
+
+    def stream_snapshot(self) -> Dict[int, Tuple[int, int]]:
+        """Plain ``{obj_uid: (last_end, last_client)}`` copy of the
+        per-object stream trackers (oracle accessor — reads the raw dicts
+        behind the tracked proxies, perturbing nothing)."""
+        last_end = raw_snapshot(self._last_end)
+        last_client = raw_snapshot(self._last_client)
+        return {uid: (end, last_client.get(uid, -1))
+                for uid, end in sorted(last_end.items())}
 
     # -- fault hooks -------------------------------------------------------
     def fail(self) -> None:

@@ -147,24 +147,58 @@ class ContainerLayout:
         return ACCESS_NAME in node.children
 
     # -- creation / teardown -------------------------------------------------
+    def _tmp_skeleton_path(self, client: Client) -> str:
+        """Writer-unique staging name, sibling of the container dir."""
+        return f"{self.path}.mkdir.{client.node.id}.{client.client_id}"
+
+    def _remove_tmp_skeleton(self, client: Client, tmp: str) -> Generator:
+        """Tear down a staged (possibly partial) skeleton at *tmp*."""
+        vol = self.home_volume
+        for sub in (f"{tmp}/{ACCESS_NAME}",):
+            if vol.ns.exists(sub):
+                yield from vol.unlink(client, sub)
+        for sub in (f"{tmp}/{META_DIR}", f"{tmp}/{OPENHOSTS_DIR}"):
+            if vol.ns.exists(sub):
+                yield from vol.rmdir(client, sub)
+        yield from vol.rmdir(client, tmp)
+
     def create_skeleton(self, client: Client, *, parents: bool = False) -> Generator:
         """Create the container: dir, access file, meta/, openhosts/.
 
+        Creation is atomic the way real PLFS makes it atomic: the whole
+        skeleton is staged under a writer-unique sibling name and then
+        ``rename(2)``-ed into place, so a concurrent opener either sees
+        no container or a *complete* one — never a directory whose
+        ``openhosts/`` has yet to be created.  (The schedule explorer
+        found exactly that half-built window in the naive mkdir-first
+        ordering: a second writer losing the mkdir race would charge
+        ahead and fault on the missing ``openhosts/``.)
+
         Subdirs are created lazily on first writer touch (see
         :meth:`ensure_subdir`), keeping per-file metadata cost low for N-N
-        workloads.  Raises :class:`FileExists` if the container dir already
-        exists — callers use that for first-writer-wins racing.
+        workloads.  Raises :class:`FileExists` if another writer's rename
+        won — callers use that for first-writer-wins racing; the loser's
+        staging dir is torn down before the raise.
         """
         vol = self.home_volume
         if parents:
             parent = self.path.rpartition("/")[0]
             if parent:
                 yield from vol.makedirs(client, parent)
-        yield from vol.mkdir(client, self.path)  # may raise FileExists
-        fh = yield from vol.open(client, self.access_path, "w", create=True)
+        tmp = self._tmp_skeleton_path(client)
+        if vol.ns.exists(tmp):  # debris of an earlier faulted attempt
+            yield from self._remove_tmp_skeleton(client, tmp)
+        yield from vol.mkdir(client, tmp)
+        fh = yield from vol.open(client, f"{tmp}/{ACCESS_NAME}", "w",
+                                 create=True)
         yield from fh.close()
-        yield from vol.mkdir(client, self.meta_path)
-        yield from vol.mkdir(client, self.openhosts_path)
+        yield from vol.mkdir(client, f"{tmp}/{META_DIR}")
+        yield from vol.mkdir(client, f"{tmp}/{OPENHOSTS_DIR}")
+        try:
+            yield from vol.rename(client, tmp, self.path)
+        except FileExists:
+            yield from self._remove_tmp_skeleton(client, tmp)
+            raise
 
     def ensure_skeleton(self, client: Client) -> Generator:
         """Create the container if missing; tolerate losing the race."""

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Generator
 
-from ..analysis.sanitize import tracked
+from ..analysis.sanitize import raw_snapshot, tracked
 from ..errors import BadFileHandle, FileNotFound, InvalidArgument
 from ..faults.policies import RetryPolicy, retrying
 from ..pfs.data import DataSpec
@@ -40,6 +40,20 @@ def _host_registry(home) -> dict:
         reg = home._plfs_host_refs = tracked(
             home.env, {}, f"plfs-host-refs[{home.name}]")
     return reg
+
+
+def host_refs_snapshot(home) -> dict:
+    """Plain ``{(path, node_id): (refcount, max_eof, total_records)}`` copy
+    of a volume's host registry.
+
+    Oracle accessor for the model checker: reads the raw container behind
+    the tracked proxy, so invariant evaluation never perturbs the
+    sanitizer's read vectors or the explorer's access footprints.
+    """
+    reg = getattr(home, "_plfs_host_refs", None)
+    if reg is None:
+        return {}
+    return {k: tuple(v) for k, v in sorted(raw_snapshot(reg).items())}
 
 
 def open_write_handle(layout: ContainerLayout, client: Client,

@@ -441,6 +441,7 @@ class Engine:
         self._eid = 0
         self._live = 0  # scheduled non-daemon events
         self._san = None  # yield-point race sanitizer (see attach_sanitizer)
+        self._sched = None  # controlled scheduler (see attach_scheduler)
         # The factories are the hottest constructors in the simulator;
         # binding them as C-level partials (shadowing the documented
         # methods below) removes a Python wrapper frame per call.
@@ -482,6 +483,34 @@ class Engine:
             return make(sanitizer.instrument(gen, label), label)
 
         self.process = _sanitized_process
+
+    @property
+    def scheduler(self):
+        """The attached controlled scheduler, or None (the default)."""
+        return self._sched
+
+    def attach_scheduler(self, scheduler) -> None:
+        """Route :meth:`run` through the controlled (model-checking) loop.
+
+        *scheduler* decides tie-breaks among same-instant ready events:
+
+        * ``select(ready)`` — called with the ready set (``(eid, event)``
+          pairs sorted by eid) whenever more than one event is runnable at
+          the current instant; returns the index to fire.  Index 0 always
+          reproduces the engine's default (time, eid) order.
+        * ``fired(eid, event)`` — called for every event the controlled
+          loop fires, before its callbacks run.
+        * ``quiescent(now)`` — called whenever the current instant has
+          fully drained (before time advances, and once at the end).
+
+        The stock :meth:`run` loop is untouched when no scheduler is
+        attached — exploration is structurally free when off.
+        """
+        self._sched = scheduler
+
+    def detach_scheduler(self) -> None:
+        """Return :meth:`run` to the uncontrolled fast path."""
+        self._sched = None
 
     # -- factory helpers (shadowed by equivalent partials per instance) ----
     def event(self) -> Event:
@@ -591,6 +620,9 @@ class Engine:
         """
         if until is not None and until < self._now:
             raise SimulationError(f"run(until={until}) is in the past (now={self._now})")
+        if self._sched is not None:
+            self._run_controlled(until)
+            return
         # The loop below is step() inlined (minus the defensive checks that
         # structurally cannot trip here): one Python frame per event is the
         # difference between "tens of minutes" and "minutes" at paper scale.
@@ -631,6 +663,69 @@ class Engine:
                     cbs(event)
             elif event._exc is not None:
                 raise event._exc
+
+    def _run_controlled(self, until: Optional[float]) -> None:
+        """The model-checker's run loop: every same-instant tie-break is a
+        *decision point* delegated to the attached scheduler.
+
+        Instead of firing the single (time, eid)-minimal event, the loop
+        materializes the whole ready set of the current instant — all
+        immediate entries plus every heap entry already due — and asks the
+        scheduler which to fire.  Choosing index 0 at every decision
+        reproduces the uncontrolled order exactly (new events always get
+        larger sequence ids, so the eid-minimal ready event is the one
+        :meth:`run` would have fired).  Unchosen events go back on the
+        immediate queue; the re-gather-and-sort next iteration restores
+        the global order among them.
+        """
+        sched = self._sched
+        imm = self._immediate
+        heap = self._heap
+        heappop = heapq.heappop
+        horizon = float("inf") if until is None else until
+        while self._live > 0:
+            ready = []
+            while heap and heap[0][0] <= self._now:
+                _, eid, ev = heappop(heap)
+                ready.append((eid, ev))
+            while imm:
+                ready.append(imm.popleft())
+            if not ready:
+                if not heap:
+                    break
+                sched.quiescent(self._now)
+                t = heap[0][0]
+                if t > horizon:
+                    self._now = until
+                    return
+                self._now = t
+                continue
+            if len(ready) > 1:
+                ready.sort()
+                choice = sched.select(ready)
+                eid, event = ready.pop(choice)
+                imm.extendleft(reversed(ready))
+            else:
+                eid, event = ready[0]
+            if not event.daemon:
+                self._live -= 1
+            sched.fired(eid, event)
+            if not event._started:
+                event._started = True
+                event._resume(_INIT)
+                continue
+            cbs = event.callbacks
+            event.callbacks = None
+            event._processed = True
+            if cbs is not None:
+                if type(cbs) is list:
+                    for cb in cbs:
+                        cb(event)
+                else:
+                    cbs(event)
+            elif event._exc is not None:
+                raise event._exc
+        sched.quiescent(self._now)
 
     def run_process(self, gen: Generator, name: str = "") -> Any:
         """Convenience: spawn *gen*, run to completion, return its result.

@@ -1,0 +1,83 @@
+"""Property: all index-aggregation strategies are byte-identical.
+
+Hypothesis generates random seeded write ledgers — the ``(offset,
+length, seed)`` triples the checker's scenarios use as ground truth —
+executes them through the full PLFS stack, and asserts
+:func:`repro.analysis.oracles.check_index_equivalence` holds: original,
+parallel, and (when a global.index exists) flattened aggregation all
+return exactly :func:`expected_bytes` of the ledger.  The *same*
+function runs as the checker's final oracle, so these tests pin down
+what a checker violation means.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.oracles import check_index_equivalence, expected_bytes
+from repro.pfs.data import PatternData, pattern_bytes
+from repro.pfs.volume import Client
+from tests.conftest import make_world
+
+MAX_OFF = 32768
+
+# A ledger: sequential writes of one logical file, overlaps allowed
+# (expected_bytes applies them in order; a single writer issuing them in
+# order gives the simulator the same last-write-wins outcome).
+ledgers = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=MAX_OFF),
+        st.integers(min_value=1, max_value=6000),
+        st.integers(min_value=0, max_value=50),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def _run_ledger(world, path, ledger):
+    client = Client(node=world.cluster.nodes[0], client_id=0)
+
+    def writer(env):
+        h = yield from world.mount.open_write(client, path)
+        for offset, length, seed in ledger:
+            yield from h.write(offset, PatternData(seed, offset, length))
+        yield from world.mount.close_write(h)
+
+    world.env.process(writer(world.env), "ledger-writer")
+    world.env.run()
+
+
+@given(ledgers, st.sampled_from(["original", "flatten", "parallel"]))
+@settings(max_examples=25, deadline=None)
+def test_strategies_match_ledger(ledger, aggregation):
+    world = make_world(aggregation=aggregation, index_spill_records=1)
+    _run_ledger(world, "/f", ledger)
+    size = max(off + length for off, length, _seed in ledger)
+    assert check_index_equivalence(world, "/f", size, ledger) == []
+
+
+def test_two_node_disjoint_writes_match():
+    """Multi-writer spot check: disjoint ranges from two nodes."""
+    world = make_world(n_nodes=4, aggregation="parallel",
+                       index_spill_records=1)
+    ledger = [(0, 4096, 1), (4096, 4096, 2)]
+    a = Client(node=world.cluster.nodes[0], client_id=0)
+    b = Client(node=world.cluster.nodes[1], client_id=1)
+
+    def writer(client, offset, length, seed):
+        h = yield from world.mount.open_write(client, "/g")
+        yield from h.write(offset, PatternData(seed, offset, length))
+        yield from world.mount.close_write(h)
+
+    for client, (off, length, seed) in zip((a, b), ledger):
+        world.env.process(writer(client, off, length, seed), "w")
+    world.env.run()
+    assert check_index_equivalence(world, "/g", 8192, ledger, ranks=2) == []
+
+
+def test_expected_bytes_applies_ledger_in_order():
+    ledger = [(0, 8, 1), (4, 8, 2)]
+    got = expected_bytes(16, ledger)
+    assert got[:4] == pattern_bytes(1, 0, 8)[:4].tobytes()
+    assert got[4:12] == pattern_bytes(2, 4, 8).tobytes()
+    assert got[12:] == b"\x00" * 4
