@@ -89,6 +89,6 @@ def load_config(pyproject: Optional[Path] = None) -> AnalysisConfig:
         per_file_rules=tuple(
             (pattern, frozenset(rules))
             # Matching is additive, so table order cannot change the outcome.
-            for pattern, rules in per_file.items()  # repro: noqa[REP004]
+            for pattern, rules in per_file.items()  # repro: noqa[REP004] -- matching is additive; table order cannot change it
         ),
     )

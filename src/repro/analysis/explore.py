@@ -180,6 +180,12 @@ def run_schedule(scenario: Scenario, schedule: Schedule, *,
     env = world.env
     san = env.sanitizer
     san.strict = False
+    # Collective-trace recording in oracle mode: non-strict, so a
+    # divergent schedule drains fully and the mismatch is reported as a
+    # violation below rather than aborting the exploration.
+    from ..mpi.trace import attach_tracer
+
+    tracer = attach_tracer(env, strict=False)
 
     controller = _Controller(schedule)
     quick_msgs: List[str] = []
@@ -224,6 +230,14 @@ def run_schedule(scenario: Scenario, schedule: Schedule, *,
         violations.append(Violation("race", conflict.render()))
     for msg in quick_msgs:
         violations.append(Violation("invariant", msg))
+    # Quiescent-drain collective-congruence oracle: every communicator
+    # the workload touched must show identical per-rank traces.  This is
+    # the runtime confirmation channel for static REP101..REP104
+    # findings (repro.analysis.collectives).
+    from ..mpi.trace import validate_tracer
+
+    for msg in validate_tracer(tracer):
+        violations.append(Violation("oracle", f"collective-trace: {msg}"))
 
     if final_oracles and not violations:
         try:

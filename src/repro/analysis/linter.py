@@ -15,10 +15,18 @@ REP007    registry read separated from its dependent write by a yield
 Suppression forms, narrowest first:
 
 * ``# repro: noqa[REP004]`` on the flagged line (several IDs comma-
-  separated; a trailing ``-- reason`` is encouraged and ignored);
-* ``# repro: noqa`` on the flagged line silences every rule there;
+  separated; a trailing ``-- reason`` is encouraged and audited);
+* ``# noqa: REP003,REP101`` — the flake8-style spelling, same
+  semantics, so editors and other tools recognize the suppression;
+* ``# repro: noqa`` / ``# noqa`` on the flagged line silences every
+  rule there;
 * per-file and global switches in ``[tool.repro.analysis]``
   (:mod:`repro.analysis.config`).
+
+Every suppression is an auditable record (:class:`Suppression`): its
+line, the codes it silences, and the justification text after ``--``.
+``python -m repro.analysis lint --show-suppressed`` lists them all, so
+unjustified suppressions are one grep away from review.
 
 The matcher is deliberately syntactic: it cannot prove an iteration
 order reaches a result table, so REP004/REP006 over-approximate and the
@@ -47,12 +55,15 @@ import ast
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .config import AnalysisConfig, load_config
 from .rules import RULES
 
-__all__ = ["Finding", "lint_source", "lint_file", "lint_paths"]
+__all__ = [
+    "Finding", "Suppression", "lint_source", "lint_file", "lint_paths",
+    "filter_findings", "iter_suppressions", "collect_suppressions",
+]
 
 
 @dataclass(frozen=True)
@@ -67,6 +78,22 @@ class Finding:
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``noqa`` comment: where, what it silences, and why."""
+
+    path: str
+    line: int
+    rules: Optional[frozenset]  # None: suppresses every rule on the line
+    justification: str          # text after `--` (or trailing prose); ""
+
+    def render(self) -> str:
+        what = "all rules" if self.rules is None \
+            else ",".join(sorted(self.rules))
+        why = self.justification or "(no justification)"
+        return f"{self.path}:{self.line}: noqa[{what}] -- {why}"
 
 
 # -- rule tables -------------------------------------------------------------
@@ -106,8 +133,14 @@ _ORDER_INSENSITIVE = frozenset({
 
 _UNORDERED_METHODS = frozenset({"values", "keys", "items"})
 
+# Both spellings: `repro: noqa[REP004]` (bracketed, project-native)
+# and `noqa: REP003,REP101` (flake8-style colon list).  A bare
+# `noqa` / `repro: noqa` suppresses every rule on the line.
 _NOQA_RE = re.compile(
-    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9,\s]+)\])?")
+    r"#\s*(?:repro:\s*)?noqa"
+    r"(?:\[(?P<bracket>[A-Za-z0-9,\s]+)\]"
+    r"|:\s*(?P<colon>[A-Za-z][A-Za-z0-9]*(?:\s*,\s*[A-Za-z][A-Za-z0-9]*)*)"
+    r")?")
 
 
 def _dotted(node: ast.AST) -> Optional[str]:
@@ -535,19 +568,97 @@ class _AtomicityPass:
 
 # -- entry points ------------------------------------------------------------
 
+def iter_suppressions(source: str, path: str = "<string>",
+                      ) -> List[Suppression]:
+    """Every ``noqa`` comment in *source*, with its justification.
+
+    The justification is the text after ``--`` on the comment (the
+    convention the bracketed form has always encouraged), else whatever
+    prose trails the codes.
+    """
+    out: List[Suppression] = []
+    for lineno, comment in _comments(source):
+        m = _NOQA_RE.search(comment)
+        if not m:
+            continue
+        codes = m.group("bracket") or m.group("colon")
+        rules = None if codes is None else frozenset(
+            r.strip().upper() for r in codes.split(",") if r.strip())
+        trailing = comment[m.end():]
+        if "--" in trailing:
+            just = trailing.split("--", 1)[1]
+        else:
+            just = trailing.lstrip(":#")
+        out.append(Suppression(path=path, line=lineno, rules=rules,
+                               justification=" ".join(just.split())))
+    return out
+
+
+def _comments(source: str) -> List[Tuple[int, str]]:
+    """(line, text) of every real comment token in *source*.
+
+    Tokenizing (rather than regex-scanning lines) keeps ``noqa``
+    mentions inside docstrings and string literals — this module's own
+    documentation, say — from being honored as suppressions.
+    """
+    import io
+    import tokenize
+
+    comments: List[Tuple[int, str]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                comments.append((tok.start[0], tok.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # keep what tokenized; broken files get REP000 anyway
+    return comments
+
+
 def _noqa_map(source: str) -> Dict[int, Optional[Set[str]]]:
     """line -> suppressed rule IDs (None means: every rule)."""
     out: Dict[int, Optional[Set[str]]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        m = _NOQA_RE.search(line)
-        if not m:
+    for s in iter_suppressions(source):
+        if s.rules is None:
+            out[s.line] = None
+        elif out.get(s.line, set()) is not None:
+            out.setdefault(s.line, set()).update(s.rules)
+    return out
+
+
+def filter_findings(findings: Iterable[Finding],
+                    source: str) -> List[Finding]:
+    """Drop findings suppressed by a ``noqa`` on their own line."""
+    noqa = _noqa_map(source)
+    out: List[Finding] = []
+    for f in findings:
+        suppressed = noqa.get(f.line, ...)
+        if suppressed is None:
             continue
-        rules = m.group("rules")
-        if rules is None:
-            out[lineno] = None
-        else:
-            out[lineno] = {r.strip().upper() for r in rules.split(",")
-                           if r.strip()}
+        if suppressed is not ... and f.rule in suppressed:
+            continue
+        out.append(f)
+    return out
+
+
+def collect_suppressions(paths: Sequence[str],
+                         config: Optional[AnalysisConfig] = None,
+                         ) -> List[Suppression]:
+    """Audit: every noqa under *paths* (files or directories)."""
+    cfg = config if config is not None else load_config()
+    files: List[Path] = []
+    for p in paths:
+        root = Path(p)
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.py")))
+        elif root.suffix == ".py":
+            files.append(root)
+    out: List[Suppression] = []
+    for f in files:
+        name = str(f)
+        if cfg.is_excluded(name):
+            continue
+        out.extend(iter_suppressions(f.read_text(encoding="utf-8"),
+                                     path=name))
     return out
 
 
@@ -565,16 +676,9 @@ def lint_source(source: str, path: str = "<string>",
     visitor.visit(tree)
     if "REP007" in rules:
         _AtomicityPass(visitor._emit).run(tree)
-    noqa = _noqa_map(source)
-    out: List[Finding] = []
-    for f in visitor.findings:
-        suppressed = noqa.get(f.line, ...)
-        if suppressed is None:  # bare noqa: everything on this line
-            continue
-        if suppressed is not ... and f.rule in suppressed:
-            continue
-        out.append(Finding(rule=f.rule, path=path, line=f.line, col=f.col,
-                           message=f.message))
+    placed = [Finding(rule=f.rule, path=path, line=f.line, col=f.col,
+                      message=f.message) for f in visitor.findings]
+    out = filter_findings(placed, source)
     out.sort(key=lambda f: (f.line, f.col, f.rule))
     return out
 

@@ -403,7 +403,7 @@ class TrackedDict(_TrackedBase):
         for k, v in items:
             self._note_write(k)
             self._d[k] = v
-        for k, v in kw.items():  # repro: noqa[REP004] - kwargs preserve call order (PEP 468)
+        for k, v in kw.items():  # repro: noqa[REP004] -- kwargs preserve call order (PEP 468)
             self._note_write(k)
             self._d[k] = v
 

@@ -84,6 +84,12 @@ def main(argv=None) -> int:
                              "(repro.analysis): shared-state races raise "
                              "RaceConditionError instead of silently "
                              "skewing results")
+    parser.add_argument("--validate-collectives", action="store_true",
+                        help="record every rank's collective trace and "
+                             "assert per-communicator congruence at job "
+                             "drain (CollectiveMismatchError on "
+                             "divergence); the runtime cross-check for "
+                             "REP101..REP104 findings")
     args = parser.parse_args(argv)
     if args.replay_schedule:
         if args.figures:
@@ -95,6 +101,9 @@ def main(argv=None) -> int:
         # Via the environment so --jobs worker processes inherit it; each
         # build_world() checks the flag and attaches a sanitizer.
         os.environ["REPRO_SANITIZE"] = "1"
+    if args.validate_collectives:
+        # Same channel as --sanitize; build_world() attaches the tracer.
+        os.environ["REPRO_VALIDATE_COLLECTIVES"] = "1"
     if args.jobs < 0:
         parser.error(f"--jobs must be >= 0, got {args.jobs}")
 
@@ -104,7 +113,8 @@ def main(argv=None) -> int:
         parser.error(f"unknown figure(s) {unknown}; choose from {sorted(FIGURES)}")
     scale = get_scale(args.scale)
     san = " | sanitize=on" if args.sanitize else ""
-    print(f"# repro harness | scale={scale.name}{san}\n", flush=True)
+    val = " | validate-collectives=on" if args.validate_collectives else ""
+    print(f"# repro harness | scale={scale.name}{san}{val}\n", flush=True)
     all_tables = []
     for name in names:
         t0 = time.time()

@@ -61,7 +61,7 @@ def resource_report(world: World) -> Table:
 def _hottest_dir_busy(mds) -> float:
     busiest = 0.0
     # max() over floats is exact and order-insensitive.
-    for srv in mds._dir_servers.values():  # repro: noqa[REP004]
+    for srv in mds._dir_servers.values():  # repro: noqa[REP004] -- max() over floats is order-insensitive
         busiest = max(busiest, srv.busy_time)
     return busiest
 

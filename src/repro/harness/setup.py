@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..analysis.sanitize import attach_sanitizer, sanitize_enabled
+from ..mpi.trace import attach_tracer, validate_collectives_enabled
 from ..cluster import Cluster, ClusterSpec, NodeSpec
 from ..pfs import PfsConfig, Volume, panfs
 from ..pfs.locks import RangeLockManager
@@ -66,6 +67,12 @@ def build_world(*, n_volumes: int = 1, n_nodes: int = 4, cores: int = 4,
         # raises RaceConditionError at the offending write.  The env-var
         # channel means sweep worker processes inherit the setting.
         attach_sanitizer(env)
+    if validate_collectives_enabled():
+        # REPRO_VALIDATE_COLLECTIVES=1 (--validate-collectives): every
+        # communicator created on this engine records per-rank
+        # collective traces, and run_job raises CollectiveMismatchError
+        # at drain when ranks diverge (see repro.mpi.trace).
+        attach_tracer(env, strict=True)
     spec = cluster_spec or ClusterSpec(name="world", n_nodes=n_nodes,
                                        node=NodeSpec(cores=cores))
     cluster = Cluster(env, spec)

@@ -42,6 +42,13 @@ class Communicator:
         self._splits: Dict[Tuple[int, int], "Communicator"] = {}
         self.messages = 0
         self.bytes = 0
+        # Collective-trace validation (repro.mpi.trace): harness runs
+        # under --validate-collectives attach a tracer to the engine and
+        # every communicator picks it up here.  None in normal runs —
+        # the per-collective cost is then a single attribute check.
+        self.tracer = getattr(env, "collective_tracer", None)
+        if self.tracer is not None:
+            self.tracer.register(self)
 
     def _box(self, dst: int, src: int, tag: Any) -> Store:
         key = (dst, src, tag)
@@ -65,6 +72,7 @@ class Comm:
         self.size = shared.size
         self.env = shared.env
         self._coll_seq = 0  # SPMD-consistent collective tag counter
+        self._trace_depth = 0  # >0 inside a composite collective
 
     @property
     def node(self) -> Node:
@@ -113,6 +121,28 @@ class Comm:
     def _from_vrank(self, v: int, root: int) -> int:
         return (v + root) % self.size
 
+    # -- collective tracing ----------------------------------------------------
+    def _traced(self, op: str, root: Optional[int], gen: Generator) -> Generator:
+        """Record ``(op, root)`` when a tracer is attached; no-op pass-
+        through otherwise (one attribute check per collective call)."""
+        if self._shared.tracer is None:
+            return gen
+        return self._trace_run(op, root, gen)
+
+    def _trace_run(self, op: str, root: Optional[int],
+                   gen: Generator) -> Generator:
+        # Depth guard: composite collectives (barrier, allgather,
+        # allreduce, split) are recorded once, at the granularity the
+        # caller wrote — their nested gather/bcast stages stay silent.
+        if self._trace_depth == 0:
+            self._shared.tracer.record(self._shared, self.rank, op, root)
+        self._trace_depth += 1
+        try:
+            result = yield from gen
+        finally:
+            self._trace_depth -= 1
+        return result
+
     def gather(self, value: Any, nbytes: int = 0, root: int = 0) -> Generator:
         """Binomial-tree gather; root returns the rank-ordered list, others None.
 
@@ -120,6 +150,9 @@ class Comm:
         together), so the root's final receives carry ~size*nbytes — the
         physical reason Index Flatten's close gets slower at scale (§IV-A).
         """
+        return self._traced("gather", root, self._gather(value, nbytes, root))
+
+    def _gather(self, value: Any, nbytes: int = 0, root: int = 0) -> Generator:
         tag = self._next_tag()
         size, v = self.size, self._vrank(root)
         # items: list of (orig_rank, value); carried size in acc_bytes
@@ -148,6 +181,9 @@ class Comm:
         Only the root's *nbytes* matters: relays forward the size they
         received, so non-root callers may pass 0.
         """
+        return self._traced("bcast", root, self._bcast(value, nbytes, root))
+
+    def _bcast(self, value: Any, nbytes: int = 0, root: int = 0) -> Generator:
         tag = self._next_tag()
         size, v = self.size, self._vrank(root)
         mask = 1
@@ -166,17 +202,26 @@ class Comm:
 
     def barrier(self) -> Generator:
         """Tree barrier: zero-byte gather then broadcast."""
+        return self._traced("barrier", None, self._barrier())
+
+    def _barrier(self) -> Generator:
         yield from self.gather(None, 0, root=0)
         yield from self.bcast(None, 0, root=0)
 
     def allgather(self, value: Any, nbytes: int = 0) -> Generator:
         """Gather to rank 0 then broadcast the assembled list."""
+        return self._traced("allgather", None, self._allgather(value, nbytes))
+
+    def _allgather(self, value: Any, nbytes: int = 0) -> Generator:
         gathered = yield from self.gather(value, nbytes, root=0)
         result = yield from self.bcast(gathered, nbytes * self.size, root=0)
         return result
 
     def reduce(self, value: Any, op, nbytes: int = 0, root: int = 0) -> Generator:
         """Binomial-tree reduction with a binary *op*; root returns the result."""
+        return self._traced("reduce", root, self._reduce(value, op, nbytes, root))
+
+    def _reduce(self, value: Any, op, nbytes: int = 0, root: int = 0) -> Generator:
         tag = self._next_tag()
         size, v = self.size, self._vrank(root)
         acc = value
@@ -194,6 +239,10 @@ class Comm:
         return acc
 
     def allreduce(self, value: Any, op, nbytes: int = 0) -> Generator:
+        """Reduce to rank 0 then broadcast the result to every rank."""
+        return self._traced("allreduce", None, self._allreduce(value, op, nbytes))
+
+    def _allreduce(self, value: Any, op, nbytes: int = 0) -> Generator:
         acc = yield from self.reduce(value, op, nbytes, root=0)
         result = yield from self.bcast(acc, nbytes, root=0)
         return result
@@ -201,6 +250,11 @@ class Comm:
     def scatter(self, values: Optional[List[Any]], nbytes_each: int = 0,
                 root: int = 0) -> Generator:
         """Root sends element i to rank i (linear; used for work assignment)."""
+        return self._traced("scatter", root,
+                            self._scatter(values, nbytes_each, root))
+
+    def _scatter(self, values: Optional[List[Any]], nbytes_each: int = 0,
+                 root: int = 0) -> Generator:
         tag = self._next_tag()
         if self.rank == root:
             if values is None or len(values) != self.size:
@@ -215,6 +269,10 @@ class Comm:
 
     def alltoall(self, values: List[Any], nbytes_each: int = 0) -> Generator:
         """Pairwise-exchange all-to-all (N-1 rounds); returns received list."""
+        return self._traced("alltoall", None,
+                            self._alltoall(values, nbytes_each))
+
+    def _alltoall(self, values: List[Any], nbytes_each: int = 0) -> Generator:
         if len(values) != self.size:
             raise MPIError("alltoall needs one value per rank")
         tag = self._next_tag()
@@ -236,6 +294,12 @@ class Comm:
         Returns this rank's :class:`Comm` view of its new communicator.
         Ordering within a color follows (key, rank).
         """
+        # Root None: the color argument is rank-dependent by design (it
+        # is how the ranks partition), so the trace records the split
+        # itself, not its per-rank color.
+        return self._traced("split", None, self._split(color, key))
+
+    def _split(self, color: int, key: Optional[int] = None) -> Generator:
         key = self.rank if key is None else key
         triples = yield from self.allgather((color, key, self.rank), nbytes=24)
         members = sorted((k, r) for c, k, r in triples if c == color)
@@ -247,10 +311,14 @@ class Comm:
         cache_key = (self._coll_seq, color)
         shared = registry.get(cache_key)
         if shared is None:
+            # The collective-seq suffix keeps names unique when one job
+            # splits the same parent twice (the two-level parallel read
+            # makes a "group" and a "leaders" comm that could otherwise
+            # both be ".../split0"), which trace reports rely on.
             shared = Communicator(
                 self.env, self._shared.interconnect,
                 [self._shared.nodes[r] for r in ranks],
-                name=f"{self._shared.name}/split{color}",
+                name=f"{self._shared.name}/split{color}@{self._coll_seq}",
             )
             registry[cache_key] = shared
         return shared.view(ranks.index(self.rank))

@@ -148,7 +148,7 @@ class MPIFile:
         sends = []
         # Insertion order is a deterministic function of the (rank-ordered)
         # request list and ascending domain walk.
-        for owner, chunk in per_owner.items():  # repro: noqa[REP004]
+        for owner, chunk in per_owner.items():  # repro: noqa[REP004] -- insertion order derives from the rank-ordered request walk
             nbytes = sum(s.length for _, s in chunk)
             sends.append(env.process(comm.send(owner, chunk, nbytes, tag)))
         # If I am an aggregator, collect and write my domain.
@@ -244,7 +244,7 @@ class MPIFile:
         # Deterministic insertion order (ascending offset walk); the recv
         # sequence below must match the senders' dispatch order, so do NOT
         # re-sort it.
-        for key, owner in expected.items():  # repro: noqa[REP004]
+        for key, owner in expected.items():  # repro: noqa[REP004] -- must mirror the senders' dispatch order; do not re-sort
             if owner == comm.rank:
                 continue
             got_key, piece = yield from comm.recv(owner, tag)

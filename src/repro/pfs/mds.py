@@ -155,4 +155,4 @@ class MetadataServer:
     @property
     def total_ops(self) -> int:
         # Integer sum: order-insensitive, exact.
-        return sum(self.op_counts.values())  # repro: noqa[REP006]
+        return sum(self.op_counts.values())  # repro: noqa[REP006] -- integer sum is exact and order-insensitive

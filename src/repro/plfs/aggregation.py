@@ -104,7 +104,7 @@ def _read_and_parse(client: Client, entries: List[IndexLogEntry]) -> Generator:
     for e in entries:
         by_volume.setdefault(e[0].name, []).append(e)
     merged = GlobalIndex()
-    for group in by_volume.values():  # repro: noqa[REP004]
+    for group in by_volume.values():  # repro: noqa[REP004] -- grouped by a deterministic walk of rank-ordered entries
         vol = group[0][0]
         views = yield from vol.bulk_read_files(client, [path for _, path, _, _ in group])
         for (_, _, writer_id, node_id), view in zip(group, views):
@@ -158,7 +158,7 @@ def _charge_only(layout: ContainerLayout, client: Client,
     by_volume: Dict[str, List[IndexLogEntry]] = {}
     for e in entries:
         by_volume.setdefault(e[0].name, []).append(e)
-    for group in by_volume.values():  # repro: noqa[REP004]
+    for group in by_volume.values():  # repro: noqa[REP004] -- grouped by a deterministic walk of rank-ordered entries
         vol = group[0][0]
         yield from vol.bulk_read_files(client, [path for _, path, _, _ in group])
 
@@ -206,7 +206,7 @@ def aggregate_resilient(layout: ContainerLayout, client: Client,
         by_volume.setdefault(e[0].name, []).append(e)
     merged = GlobalIndex()
     missing: List[int] = []
-    for group in by_volume.values():  # repro: noqa[REP004]
+    for group in by_volume.values():  # repro: noqa[REP004] -- grouped by a deterministic walk of rank-ordered entries
         vol = group[0][0]
         paths = [path for _, path, _, _ in group]
         try:

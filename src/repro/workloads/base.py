@@ -174,7 +174,11 @@ def _writer_fn(workload: Workload, stack: IOStack):
                 pieces.append((off, PatternData(seed, cursor, ln)))
                 cursor += ln
             if workload.collective_write:
-                yield from f.write_at_all(pieces)
+                # Workload contract: write_rounds(rank) varies offsets
+                # per rank but yields the same *round count* on every
+                # rank (tests/mpi/test_collectives_edges.py validates a
+                # run under --validate-collectives).
+                yield from f.write_at_all(pieces)  # noqa: REP104 -- round count is rank-uniform by the Workload contract; trace-validated
             else:
                 for off, spec in pieces:
                     yield from f.write_at(off, spec)
@@ -199,7 +203,9 @@ def _reader_fn(workload: Workload, stack: IOStack, verify: bool):
         seed, cursor, ok = workload.seed(ctx.rank), 0, True
         for rnd in workload.read_rounds(ctx.rank):
             if workload.collective_read:
-                views = yield from f.read_at_all(list(rnd))
+                # Same contract as the write side: per-rank offsets,
+                # rank-uniform round count.
+                views = yield from f.read_at_all(list(rnd))  # noqa: REP104 -- round count is rank-uniform by the Workload contract; trace-validated
             else:
                 views = []
                 for off, ln in rnd:
